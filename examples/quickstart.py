@@ -1,0 +1,51 @@
+"""Quickstart: index a CAD dataset and run a similarity query.
+
+Builds a small synthetic car-part dataset, pushes it through the full
+paper pipeline (voxelize at r=15, normalize, canonical pose, greedy
+covers, vector sets), and answers a 5-nn query with the minimal
+matching distance accelerated by the extended-centroid filter.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FilterRefineEngine, Pipeline, VectorSetModel
+from repro.datasets import make_car_dataset
+
+
+def main() -> None:
+    # 1. A labeled dataset of parametric CAD parts (stand-in for the
+    #    paper's proprietary ~200-part car dataset).
+    parts, _ = make_car_dataset(
+        class_counts={"tire": 10, "door": 10, "engine_block": 10, "seat": 10},
+        n_noise=4,
+    )
+
+    # 2. The preparation pipeline of Section 3: voxel raster r = 15,
+    #    translation/scale normalization, canonical 90-degree pose.
+    pipeline = Pipeline(resolution=15)
+    objects = pipeline.process_parts(parts)
+
+    # 3. The vector set model (Section 4): every object becomes a set of
+    #    at most k = 7 six-dimensional cover vectors.
+    model = VectorSetModel(k=7)
+    sets = [model.extract(obj.grid) for obj in objects]
+    print(f"prepared {len(sets)} objects; "
+          f"set sizes: min={min(map(len, sets))}, max={max(map(len, sets))}")
+
+    # 4. Similarity queries: minimal matching distance, filtered through
+    #    the Lemma 2 centroid lower bound.
+    engine = FilterRefineEngine(sets, capacity=7)
+    query_id = 0  # the first part (a door; classes are sorted by name)
+    results, stats = engine.knn_query(sets[query_id], 5)
+
+    print(f"\n5-nn of {objects[query_id].name}:")
+    for match in results:
+        neighbor = objects[match.object_id]
+        print(f"  {neighbor.name:20s} family={neighbor.family:12s} "
+              f"distance={match.distance:.4f}")
+    print(f"\nfilter refined {stats.exact_computations} of {len(sets)} objects "
+          f"({stats.pruned} pruned by the centroid bound)")
+
+
+if __name__ == "__main__":
+    main()

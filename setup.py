@@ -1,0 +1,6 @@
+"""Setuptools shim: enables legacy editable installs in environments
+without the `wheel` package (modern builds use pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

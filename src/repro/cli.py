@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``ingest``      build an object database from a synthetic dataset or a
+                directory of STL/OFF meshes
+``query``       k-nn search against a database (by stored name or mesh file)
+``cluster``     OPTICS-cluster a database and render the reachability plot
+``experiment``  run one of the paper's experiments (table1, table2, figures)
+``info``        show database statistics
+
+Examples
+--------
+::
+
+    python -m repro ingest --dataset car --out car.npz
+    python -m repro info car.npz
+    python -m repro query car.npz --name tire-003 -k 5
+    python -m repro cluster car.npz
+    python -m repro experiment table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.queries import FilterRefineEngine
+from repro.exceptions import ReproError
+
+MODEL_KEY = "vector-set(k={k})"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Similarity search on voxelized CAD objects (SIGMOD 2003 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ingest = commands.add_parser("ingest", help="build an object database")
+    source = ingest.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=["car", "aircraft"])
+    source.add_argument("--meshes", type=Path, help="directory of .stl/.off files")
+    ingest.add_argument("--out", type=Path, required=True)
+    ingest.add_argument("--resolution", type=int, default=15)
+    ingest.add_argument("--covers", type=int, default=7)
+    ingest.add_argument("--n", type=int, help="aircraft dataset size")
+    ingest.add_argument("--seed", type=int, default=None)
+
+    query = commands.add_parser("query", help="k-nn search against a database")
+    query.add_argument("database", type=Path)
+    target = query.add_mutually_exclusive_group(required=True)
+    target.add_argument("--name", help="query by a stored object's name")
+    target.add_argument("--mesh", type=Path, help="query with an external mesh file")
+    query.add_argument("-k", type=int, default=10)
+    query.add_argument("--covers", type=int, default=7)
+    query.add_argument("--resolution", type=int, default=15)
+
+    cluster = commands.add_parser("cluster", help="OPTICS reachability plot")
+    cluster.add_argument("database", type=Path)
+    cluster.add_argument("--min-pts", type=int, default=5)
+    cluster.add_argument("--covers", type=int, default=7)
+    cluster.add_argument("--eps", type=float, help="cut level (default: auto)")
+    cluster.add_argument("--height", type=int, default=10)
+
+    experiment = commands.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument(
+        "name",
+        choices=["table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"],
+    )
+    experiment.add_argument("--queries", type=int, default=10)
+    experiment.add_argument("--n", type=int, help="aircraft dataset size")
+
+    info = commands.add_parser("info", help="database statistics")
+    info.add_argument("database", type=Path)
+    return parser
+
+
+def _load_mesh(path: Path):
+    from repro.io.off import read_off
+    from repro.io.stl import read_stl
+
+    suffix = path.suffix.lower()
+    if suffix == ".off":
+        return read_off(path)
+    if suffix == ".stl":
+        return read_stl(path)
+    raise ReproError(f"unsupported mesh format: {path.suffix!r} (use .stl or .off)")
+
+
+def cmd_ingest(args) -> int:
+    from repro.features.vector_set_model import VectorSetModel
+    from repro.io.database import ObjectDatabase, StoredObject
+    from repro.pipeline import Pipeline
+
+    pipeline = Pipeline(resolution=args.resolution)
+    model = VectorSetModel(k=args.covers)
+    database = ObjectDatabase()
+    features = []
+
+    if args.dataset:
+        from repro.datasets.aircraft import make_aircraft_dataset
+        from repro.datasets.car import make_car_dataset
+
+        if args.dataset == "car":
+            parts, _ = make_car_dataset(seed=args.seed or 2003)
+        else:
+            parts, _ = make_aircraft_dataset(n=args.n, seed=args.seed or 1903)
+        for part in parts:
+            processed = pipeline.process_part(part)
+            database.add(
+                StoredObject(
+                    name=processed.name,
+                    family=processed.family,
+                    class_id=processed.class_id,
+                    grid=processed.grid,
+                    pose=processed.pose,
+                )
+            )
+            features.append(model.extract(processed.grid))
+    else:
+        mesh_files = sorted(
+            list(args.meshes.glob("*.stl"))
+            + list(args.meshes.glob("*.off"))
+        )
+        if not mesh_files:
+            print(f"no .stl/.off files in {args.meshes}", file=sys.stderr)
+            return 2
+        for index, path in enumerate(mesh_files):
+            grid, pose = pipeline.process_mesh(_load_mesh(path))
+            database.add(
+                StoredObject(
+                    name=path.stem,
+                    family="mesh",
+                    class_id=index,
+                    grid=grid,
+                    pose=pose,
+                )
+            )
+            features.append(model.extract(grid))
+
+    database.set_features(MODEL_KEY.format(k=args.covers), features)
+    database.save(args.out)
+    print(f"ingested {len(database)} objects -> {args.out}")
+    return 0
+
+
+def _open_engine(path: Path, covers: int):
+    from repro.io.database import ObjectDatabase
+
+    database = ObjectDatabase.load(path)
+    key = MODEL_KEY.format(k=covers)
+    if not database.has_features(key):
+        raise ReproError(
+            f"database has no {key} features; re-ingest with --covers {covers}"
+        )
+    sets = database.get_features(key)
+    return database, sets, FilterRefineEngine(sets, capacity=covers)
+
+
+def cmd_query(args) -> int:
+    database, sets, engine = _open_engine(args.database, args.covers)
+    if args.name:
+        names = database.names()
+        try:
+            query_set = sets[names.index(args.name)]
+        except ValueError:
+            print(f"no object named {args.name!r} in the database", file=sys.stderr)
+            return 2
+    else:
+        from repro.features.vector_set_model import VectorSetModel
+        from repro.pipeline import Pipeline
+
+        pipeline = Pipeline(resolution=args.resolution)
+        grid, _ = pipeline.process_mesh(_load_mesh(args.mesh))
+        query_set = VectorSetModel(k=args.covers).extract(grid)
+
+    results, stats = engine.knn_query(query_set, args.k)
+    print(f"{'rank':>4}  {'name':24} {'family':14} distance")
+    for rank, match in enumerate(results, 1):
+        obj = database[match.object_id]
+        print(f"{rank:>4}  {obj.name:24} {obj.family:14} {match.distance:.4f}")
+    print(
+        f"\nrefined {stats.exact_computations}/{len(sets)} candidates "
+        f"({stats.pruned} pruned by the centroid filter)"
+    )
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from repro.clustering.optics import distance_rows_from_matrix, optics
+    from repro.clustering.reachability import extract_clusters, render_reachability_plot
+    from repro.core.min_matching import min_matching_distance
+    from repro.pipeline import pairwise_distance_matrix
+
+    database, sets, _ = _open_engine(args.database, args.covers)
+    matrix = pairwise_distance_matrix(sets, min_matching_distance)
+    ordering = optics(len(sets), distance_rows_from_matrix(matrix), min_pts=args.min_pts)
+    print(render_reachability_plot(
+        ordering, height=args.height, max_width=110,
+        title=f"{args.database.name} — vector set model (k={args.covers})",
+    ))
+
+    eps = args.eps
+    if eps is None:
+        finite = ordering.reachability[np.isfinite(ordering.reachability)]
+        eps = float(np.quantile(finite, 0.4)) if len(finite) else 0.0
+    clusters, noise = extract_clusters(ordering, eps)
+    print(f"\ncut at eps={eps:.4f}: {len(clusters)} clusters, {len(noise)} noise")
+    for index, members in enumerate(clusters):
+        composition = Counter(database[m].family for m in members)
+        print(f"  cluster {index}: {dict(composition)}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.evaluation.report import format_table
+
+    if args.name == "table1":
+        from repro.evaluation.table1 import run_table1
+
+        rows = run_table1()
+        print(format_table(
+            ["covers", "permutation rate"],
+            [[r.covers, f"{100 * r.permutation_rate:.1f}%"] for r in rows],
+            title="Table 1 — proper permutations (Car dataset)",
+        ))
+    elif args.name == "table2":
+        from repro.evaluation.table2 import run_table2
+
+        rows, consistent = run_table2(n_queries=args.queries, n=args.n)
+        print(format_table(
+            ["method", "CPU s", "I/O s", "total s"],
+            [[r.method, r.cpu_seconds, r.io_seconds, r.total_seconds] for r in rows],
+            title="Table 2 — 10-nn query runtimes (Aircraft dataset)",
+        ))
+        print(f"filter/scan results consistent: {consistent}")
+    elif args.name == "fig5":
+        from repro.evaluation.figures import figure5_demo
+
+        print(figure5_demo().render())
+    elif args.name == "fig10":
+        from repro.evaluation.figures import figure10_class_evaluation
+
+        for evaluation in figure10_class_evaluation():
+            print(f"\n{evaluation.model} (eps={evaluation.eps:.3f}, ARI={evaluation.ari:.3f}):")
+            for index, composition in enumerate(evaluation.clusters):
+                if sum(composition.values()) >= 3:
+                    print(f"  cluster {index}: {composition}")
+    else:
+        from repro.evaluation.figures import run_figure
+
+        for panel in run_figure(args.name, n=args.n):
+            print()
+            print(panel.render())
+    return 0
+
+
+def cmd_info(args) -> int:
+    from repro.io.database import ObjectDatabase
+
+    database = ObjectDatabase.load(args.database)
+    families = Counter(obj.family for obj in database)
+    resolutions = Counter(obj.grid.resolution for obj in database)
+    feature_models = Counter(
+        model for obj in database for model in obj.features
+    )
+    print(f"objects:       {len(database)}")
+    print(f"families:      {dict(families)}")
+    print(f"resolutions:   {dict(resolutions)}")
+    print(f"feature sets:  {dict(feature_models)}")
+    voxels = [obj.grid.count for obj in database]
+    print(f"voxels/object: min={min(voxels)} median={sorted(voxels)[len(voxels)//2]} "
+          f"max={max(voxels)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "ingest": cmd_ingest,
+        "query": cmd_query,
+        "cluster": cmd_cluster,
+        "experiment": cmd_experiment,
+        "info": cmd_info,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Single-link hierarchical clustering (baseline).
+
+OPTICS is "similar to hierarchical Single-Link clustering methods"
+(Section 5.2, citing Jain & Dubes); this module provides that classic
+method for comparison.  The dendrogram is computed from the minimum
+spanning tree of the complete distance graph (Prim, O(n^2)), which is
+exactly the single-link merge structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One dendrogram merge: the two objects whose components join and
+    the link distance at which they do."""
+
+    a: int
+    b: int
+    distance: float
+
+
+def single_link_dendrogram(distance_matrix: np.ndarray) -> list[Merge]:
+    """Single-link merges in ascending distance order via Prim's MST."""
+    matrix = np.asarray(distance_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ReproError(f"distance matrix must be square, got {matrix.shape}")
+    n = len(matrix)
+    if n == 1:
+        return []
+    in_tree = np.zeros(n, dtype=bool)
+    best_dist = matrix[0].copy()
+    best_from = np.zeros(n, dtype=int)
+    in_tree[0] = True
+    best_dist[0] = np.inf
+    edges: list[Merge] = []
+    for _ in range(n - 1):
+        nxt = int(np.argmin(best_dist))
+        edges.append(Merge(int(best_from[nxt]), nxt, float(best_dist[nxt])))
+        in_tree[nxt] = True
+        closer = matrix[nxt] < best_dist
+        closer &= ~in_tree
+        best_dist[closer] = matrix[nxt][closer]
+        best_from[closer] = nxt
+        best_dist[nxt] = np.inf
+    edges.sort(key=lambda merge: merge.distance)
+    return edges
+
+
+def single_link_clusters(
+    distance_matrix: np.ndarray, cut: float
+) -> list[list[int]]:
+    """Flat clusters: connected components of MST edges below *cut*."""
+    matrix = np.asarray(distance_matrix, dtype=float)
+    n = len(matrix)
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for merge in single_link_dendrogram(matrix):
+        if merge.distance <= cut:
+            parent[find(merge.a)] = find(merge.b)
+    groups: dict[int, list[int]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(i)
+    return sorted(groups.values(), key=lambda grp: (-len(grp), grp[0]))

@@ -1,0 +1,107 @@
+"""Reachability plots: cluster extraction and terminal rendering.
+
+The reachability plot (Figure 5) plots the reachability value of every
+object in cluster order; valleys are clusters.  Cutting the plot at a
+density threshold ``eps`` yields the flat clustering the paper inspects:
+a consecutive subsequence of objects with reachability below the cut
+belongs to one cluster, objects opening a valley are added to it, and
+objects that are not core at the cut level are noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.optics import ClusterOrdering
+from repro.exceptions import ReproError
+
+
+def extract_clusters(
+    ordering: ClusterOrdering, eps: float
+) -> tuple[list[list[int]], list[int]]:
+    """Cut the reachability plot at *eps* (ExtractDBSCAN clustering).
+
+    Returns ``(clusters, noise)`` where each cluster is a list of object
+    indices (database indexing, not plot positions).
+    """
+    if eps < 0:
+        raise ReproError("eps must be non-negative")
+    clusters: list[list[int]] = []
+    noise: list[int] = []
+    current: list[int] | None = None
+    for position, obj in enumerate(ordering.order):
+        if ordering.reachability[position] > eps:
+            # The object is not density-reachable at this level: it either
+            # opens a new cluster (if core) or is noise.
+            if ordering.core_distances[position] <= eps:
+                current = [int(obj)]
+                clusters.append(current)
+            else:
+                current = None
+                noise.append(int(obj))
+        else:
+            if current is None:
+                # Reachable but the valley opener was noise — start a
+                # cluster anyway (its predecessor defined the density).
+                current = []
+                clusters.append(current)
+            current.append(int(obj))
+    return [c for c in clusters if c], noise
+
+
+def cut_levels(ordering: ClusterOrdering, n_levels: int = 20) -> np.ndarray:
+    """Candidate eps cuts: quantiles of the finite reachability values."""
+    finite = ordering.reachability[np.isfinite(ordering.reachability)]
+    if not len(finite):
+        return np.array([])
+    quantiles = np.linspace(0.05, 0.95, n_levels)
+    return np.unique(np.quantile(finite, quantiles))
+
+
+def render_reachability_plot(
+    ordering: ClusterOrdering,
+    height: int = 12,
+    max_width: int = 120,
+    title: str | None = None,
+) -> str:
+    """Render the reachability plot as ASCII art.
+
+    Infinite reachability values are drawn as full-height ``|`` spikes
+    (the separators between connected components); finite values are
+    scaled into *height* rows of ``#`` bars.  If the ordering is longer
+    than *max_width*, consecutive positions are aggregated by their
+    maximum, which preserves the valley structure.
+    """
+    if height < 2:
+        raise ReproError("plot height must be >= 2")
+    values = ordering.reachability.copy()
+    n = len(values)
+    if n > max_width:
+        # Aggregate bins by max to keep cluster boundaries visible.
+        edges = np.linspace(0, n, max_width + 1).astype(int)
+        values = np.array(
+            [values[a:b].max() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])]
+        )
+    finite = values[np.isfinite(values)]
+    top = float(finite.max()) if len(finite) else 1.0
+    top = top if top > 0 else 1.0
+    # Number of filled rows per column (infinite -> full height + spike).
+    bars = np.zeros(len(values), dtype=int)
+    is_inf = ~np.isfinite(values)
+    bars[~is_inf] = np.ceil(values[~is_inf] / top * (height - 1)).astype(int)
+    bars[is_inf] = height
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"reachability (max finite = {top:.4f})")
+    for row in range(height, 0, -1):
+        chars = []
+        for column, bar in enumerate(bars):
+            if bar >= row:
+                chars.append("|" if is_inf[column] else "#")
+            else:
+                chars.append(" ")
+        lines.append("".join(chars).rstrip())
+    lines.append("-" * len(values))
+    return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""Filter-and-refine query processing on vector set data (Section 4.3).
+
+The engine stores one extended centroid per database object.  Queries
+first rank/filter on the centroids — whose Euclidean distance, scaled by
+``k``, lower-bounds the minimal matching distance (Lemma 2) — and only
+refine surviving candidates with the exact O(k^3) matching distance:
+
+* ε-range queries prune every object whose centroid is farther than
+  ``ε / k`` from the query centroid (the paper's filter step),
+* k-nn queries use the optimal multi-step algorithm of Seidl & Kriegel:
+  candidates are consumed in ascending lower-bound order and the search
+  stops as soon as the next lower bound exceeds the current k-th exact
+  distance, which provably refines the minimum number of candidates.
+
+The centroid ranking itself can be delegated to a spatial index (the
+paper uses an X-tree, see :mod:`repro.index.xtree`) through the
+``centroid_ranker`` hook; the default is an in-memory scan, which keeps
+this module free of index dependencies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.centroid import extended_centroid
+from repro.core.min_matching import vector_set_distance
+from repro.core.vector_set import VectorSet
+from repro.exceptions import QueryError
+
+#: A ranker yields (object id, centroid distance) in ascending centroid
+#: distance; spatial indexes plug in here.
+CentroidRanker = Callable[[np.ndarray], Iterator[tuple[int, float]]]
+ExactDistance = Callable[[np.ndarray, np.ndarray], float]
+
+
+@dataclass
+class QueryStats:
+    """Work accounting for one similarity query.
+
+    Attributes
+    ----------
+    candidates_ranked:
+        Candidates produced by the filter step (centroid comparisons).
+    exact_computations:
+        Minimal-matching distances actually evaluated (the expensive
+        O(k^3) refinements).
+    pruned:
+        Objects never refined thanks to the lower bound.
+    """
+
+    candidates_ranked: int = 0
+    exact_computations: int = 0
+    pruned: int = 0
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One result of a similarity query."""
+
+    object_id: int
+    distance: float
+
+
+class FilterRefineEngine:
+    """Answer ε-range and k-nn queries over a collection of vector sets.
+
+    Parameters
+    ----------
+    sets:
+        The database: a sequence of ``(m_i, d)`` arrays or
+        :class:`VectorSet` objects.
+    capacity:
+        The cardinality bound ``k`` shared by all sets.
+    omega:
+        Reference point of the extended centroids (default: origin).
+    exact_distance:
+        Exact set distance to refine with; defaults to the minimal
+        matching distance with Euclidean element distance and the weight
+        function ``w(x) = ||x - omega||`` — i.e. the *same* omega as the
+        centroids, which is exactly the precondition of Lemma 2.  If you
+        substitute another distance you must ensure the centroid bound
+        still lower-bounds it.
+    """
+
+    def __init__(
+        self,
+        sets: Sequence[np.ndarray | VectorSet],
+        capacity: int,
+        omega: np.ndarray | None = None,
+        exact_distance: ExactDistance | None = None,
+    ):
+        if capacity < 1:
+            raise QueryError("capacity must be >= 1")
+        if not len(sets):
+            raise QueryError("database must not be empty")
+        self.capacity = capacity
+        self._sets = [
+            np.asarray(s.vectors if isinstance(s, VectorSet) else s, dtype=float)
+            for s in sets
+        ]
+        self.dimension = self._sets[0].shape[1]
+        for i, arr in enumerate(self._sets):
+            if arr.ndim != 2 or arr.shape[1] != self.dimension:
+                raise QueryError(f"set {i} has incompatible shape {arr.shape}")
+            if len(arr) > capacity:
+                raise QueryError(f"set {i} exceeds capacity {capacity}")
+        self.omega = (
+            np.zeros(self.dimension) if omega is None else np.asarray(omega, dtype=float)
+        )
+        self.centroids = np.vstack(
+            [extended_centroid(arr, capacity, self.omega) for arr in self._sets]
+        )
+        if exact_distance is None:
+            from repro.core.centroid import norm_weight
+            from repro.core.min_matching import min_matching_distance
+
+            weight = norm_weight(None if np.allclose(self.omega, 0.0) else self.omega)
+            exact_distance = lambda a, b: min_matching_distance(  # noqa: E731
+                a, b, weight=weight
+            )
+        self._exact = exact_distance
+
+    # -- filter step -------------------------------------------------------
+
+    def _scan_ranking(self, query_centroid: np.ndarray) -> Iterator[tuple[int, float]]:
+        """Default centroid ranker: full scan, sorted ascending."""
+        dists = np.linalg.norm(self.centroids - query_centroid, axis=1)
+        for idx in np.argsort(dists, kind="stable"):
+            yield int(idx), float(dists[idx])
+
+    def _query_centroid(self, query: np.ndarray | VectorSet) -> np.ndarray:
+        arr = np.asarray(
+            query.vectors if isinstance(query, VectorSet) else query, dtype=float
+        )
+        if arr.ndim != 2 or arr.shape[1] != self.dimension:
+            raise QueryError(f"query set has incompatible shape {arr.shape}")
+        return extended_centroid(arr, self.capacity, self.omega)
+
+    # -- queries -----------------------------------------------------------
+
+    def range_query(
+        self,
+        query: np.ndarray | VectorSet,
+        epsilon: float,
+        centroid_ranker: CentroidRanker | None = None,
+    ) -> tuple[list[QueryMatch], QueryStats]:
+        """All objects within minimal matching distance *epsilon*.
+
+        Only candidates whose centroid lies within ``epsilon / k`` of the
+        query centroid are refined (Lemma 2).
+        """
+        if epsilon < 0:
+            raise QueryError("epsilon must be non-negative")
+        stats = QueryStats()
+        query_arr = np.asarray(
+            query.vectors if isinstance(query, VectorSet) else query, dtype=float
+        )
+        center = self._query_centroid(query)
+        ranking = (centroid_ranker or self._scan_ranking)(center)
+        cutoff = epsilon / self.capacity
+        results: list[QueryMatch] = []
+        for object_id, centroid_dist in ranking:
+            stats.candidates_ranked += 1
+            if centroid_dist > cutoff:
+                break  # ranking is ascending: everything after is pruned too
+            stats.exact_computations += 1
+            exact = self._exact(query_arr, self._sets[object_id])
+            if exact <= epsilon:
+                results.append(QueryMatch(object_id, exact))
+        stats.pruned = len(self._sets) - stats.exact_computations
+        results.sort(key=lambda match: (match.distance, match.object_id))
+        return results, stats
+
+    def knn_query(
+        self,
+        query: np.ndarray | VectorSet,
+        n_neighbors: int,
+        centroid_ranker: CentroidRanker | None = None,
+    ) -> tuple[list[QueryMatch], QueryStats]:
+        """The *n_neighbors* nearest objects by minimal matching distance.
+
+        Optimal multi-step k-nn (Seidl & Kriegel 1998): consume the
+        centroid ranking in ascending order; stop once the scaled
+        centroid distance of the next candidate can no longer beat the
+        current k-th exact distance.
+        """
+        if n_neighbors < 1:
+            raise QueryError("n_neighbors must be >= 1")
+        stats = QueryStats()
+        query_arr = np.asarray(
+            query.vectors if isinstance(query, VectorSet) else query, dtype=float
+        )
+        center = self._query_centroid(query)
+        ranking = (centroid_ranker or self._scan_ranking)(center)
+        # Max-heap (negated distances) of the best n candidates so far.
+        heap: list[tuple[float, int]] = []
+        for object_id, centroid_dist in ranking:
+            stats.candidates_ranked += 1
+            lower_bound = self.capacity * centroid_dist
+            if len(heap) == n_neighbors and lower_bound >= -heap[0][0]:
+                break
+            stats.exact_computations += 1
+            exact = self._exact(query_arr, self._sets[object_id])
+            if len(heap) < n_neighbors:
+                heapq.heappush(heap, (-exact, object_id))
+            elif exact < -heap[0][0]:
+                heapq.heapreplace(heap, (-exact, object_id))
+        stats.pruned = len(self._sets) - stats.exact_computations
+        results = [QueryMatch(obj, -neg) for neg, obj in heap]
+        results.sort(key=lambda match: (match.distance, match.object_id))
+        return results, stats
+
+    def knn_sequential(
+        self, query: np.ndarray | VectorSet, n_neighbors: int
+    ) -> tuple[list[QueryMatch], QueryStats]:
+        """Baseline without the filter: exact distance to every object
+        (the "Vect. Set seq. scan" row of Table 2)."""
+        if n_neighbors < 1:
+            raise QueryError("n_neighbors must be >= 1")
+        query_arr = np.asarray(
+            query.vectors if isinstance(query, VectorSet) else query, dtype=float
+        )
+        stats = QueryStats(candidates_ranked=len(self._sets))
+        distances = []
+        for object_id, candidate in enumerate(self._sets):
+            stats.exact_computations += 1
+            distances.append(QueryMatch(object_id, self._exact(query_arr, candidate)))
+        distances.sort(key=lambda match: (match.distance, match.object_id))
+        return distances[:n_neighbors], stats

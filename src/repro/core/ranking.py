@@ -1,0 +1,53 @@
+"""Incremental similarity ranking over vector sets.
+
+The paper's future work names "fast and flexible algorithms for
+processing similarity queries on vector set representations"; the
+classic flexible primitive is the *incremental ranking*: a lazy stream
+of objects in ascending exact distance, refined on demand.  Built on the
+Lemma 2 bound it is optimal in the same sense as the multi-step k-nn —
+an object's exact distance is computed only when its lower bound has
+risen to the front of the queue — and it subsumes both k-nn (take k) and
+ε-range (take while distance <= ε) without fixing k or ε in advance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.centroid import extended_centroid
+from repro.core.queries import FilterRefineEngine
+
+
+def incremental_ranking(
+    engine: FilterRefineEngine, query: np.ndarray
+) -> Iterator[tuple[int, float]]:
+    """Yield ``(object_id, exact_distance)`` in ascending distance.
+
+    Works on any :class:`FilterRefineEngine`; the number of exact
+    distance computations after ``n`` results is exactly the number of
+    candidates whose lower bound is below the ``n``-th exact distance.
+    """
+    query_arr = np.asarray(
+        query.vectors if hasattr(query, "vectors") else query, dtype=float
+    )
+    center = extended_centroid(query_arr, engine.capacity, engine.omega)
+    bounds = engine.capacity * np.linalg.norm(engine.centroids - center, axis=1)
+
+    counter = itertools.count()
+    # Heap entries: (key, tiebreak, is_exact, oid).
+    heap: list[tuple[float, int, bool, int]] = [
+        (float(bounds[oid]), next(counter), False, oid)
+        for oid in range(len(bounds))
+    ]
+    heapq.heapify(heap)
+    while heap:
+        key, _, is_exact, oid = heapq.heappop(heap)
+        if is_exact:
+            yield oid, key
+        else:
+            exact = engine._exact(query_arr, engine._sets[oid])
+            heapq.heappush(heap, (float(exact), next(counter), True, oid))

@@ -1,0 +1,87 @@
+"""The vector set representation of a data object (Section 4).
+
+A :class:`VectorSet` is a finite set of d-dimensional feature vectors
+with a cardinality bound ``k``.  It is deliberately a thin, immutable
+wrapper around an ``(m, d)`` array: the distance machinery operates on
+the raw arrays, while this class carries the capacity bound and the
+storage-size accounting used by the I/O cost model (the paper points out
+that vector sets need no dummy padding, so smaller objects really are
+smaller on disk — Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DistanceError
+
+
+@dataclass(frozen=True)
+class VectorSet:
+    """An immutable set of at most *capacity* d-dimensional vectors.
+
+    Attributes
+    ----------
+    vectors:
+        ``(m, d)`` array, ``1 <= m <= capacity``.  The row order carries
+        no meaning (it is the greedy extraction order when produced by
+        the pipeline, which is convenient for the permutation-rate
+        statistics, but distances never depend on it).
+    capacity:
+        The cardinality bound ``k`` of the model.
+    """
+
+    vectors: np.ndarray
+    capacity: int
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.vectors, dtype=float)
+        if arr.ndim != 2:
+            raise DistanceError(f"vector set must be (m, d), got shape {arr.shape}")
+        if not len(arr):
+            raise DistanceError("vector set must contain at least one vector")
+        if self.capacity < len(arr):
+            raise DistanceError(
+                f"vector set of size {len(arr)} exceeds capacity {self.capacity}"
+            )
+        arr = arr.copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "vectors", arr)
+
+    @property
+    def size(self) -> int:
+        """Number of stored vectors ``m``."""
+        return len(self.vectors)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality ``d`` of the element space."""
+        return self.vectors.shape[1]
+
+    def nbytes(self) -> int:
+        """Bytes needed to store the set (8-byte floats, no padding)."""
+        return self.vectors.size * 8
+
+    def padded(self, fill: np.ndarray | None = None) -> np.ndarray:
+        """Return the set as a dense ``(capacity, d)`` array, padding
+        missing rows with *fill* (default: the zero vector, the paper's
+        dummy cover)."""
+        if fill is None:
+            fill = np.zeros(self.dimension)
+        fill = np.asarray(fill, dtype=float)
+        if fill.shape != (self.dimension,):
+            raise DistanceError("fill vector has wrong dimension")
+        result = np.tile(fill, (self.capacity, 1))
+        result[: self.size] = self.vectors
+        return result
+
+    def __iter__(self):
+        return iter(self.vectors)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VectorSet(m={self.size}, d={self.dimension}, k={self.capacity})"

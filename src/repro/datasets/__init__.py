@@ -1,0 +1,23 @@
+"""Synthetic labeled CAD datasets.
+
+The paper's two test datasets are proprietary (a German car maker's ~200
+parts and an American aircraft maker's 5,000 parts).  As documented in
+DESIGN.md we substitute parametric part families with intra-class jitter:
+the evaluation needs *groups of intuitively similar parts plus noise*,
+which these generators produce — with the advantage of ground-truth
+class labels that make the cluster evaluation objective.
+"""
+
+from repro.datasets.aircraft import AIRCRAFT_CLASSES, make_aircraft_dataset
+from repro.datasets.car import CAR_CLASSES, make_car_dataset
+from repro.datasets.parts import CADPart, PART_FAMILIES, make_part
+
+__all__ = [
+    "CADPart",
+    "PART_FAMILIES",
+    "make_part",
+    "make_car_dataset",
+    "CAR_CLASSES",
+    "make_aircraft_dataset",
+    "AIRCRAFT_CLASSES",
+]

@@ -1,0 +1,33 @@
+"""Distance functions: L_p family and set distances from related work.
+
+Section 4.2 surveys distance measures on sets (Eiter & Mannila 1997)
+before settling on the minimal matching distance: the Hausdorff
+distance, the sum of minimum distances, the (fair-) surjection distance
+and the link distance.  All of them are implemented here so the paper's
+qualitative comparison ("Hausdorff relies too much on extreme positions",
+"the others are not metrics") can be demonstrated empirically — see the
+ablation benchmarks.
+"""
+
+from repro.distances.lp import euclidean, lp_distance, manhattan, maximum_distance
+from repro.distances.netflow import netflow_distance
+from repro.distances.set_distances import (
+    fair_surjection_distance,
+    hausdorff_distance,
+    link_distance,
+    sum_of_minimum_distances,
+    surjection_distance,
+)
+
+__all__ = [
+    "lp_distance",
+    "euclidean",
+    "manhattan",
+    "maximum_distance",
+    "hausdorff_distance",
+    "sum_of_minimum_distances",
+    "surjection_distance",
+    "fair_surjection_distance",
+    "link_distance",
+    "netflow_distance",
+]

@@ -1,0 +1,40 @@
+"""The L_p (Minkowski) distance family on feature vectors.
+
+Definition 1 leaves the vector distance pluggable; "in the literature,
+often the L_p-distance is used" and the paper's experiments use the
+Euclidean distance (p = 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DistanceError
+
+
+def lp_distance(x: np.ndarray, y: np.ndarray, p: float = 2.0) -> float:
+    """L_p distance between two equal-length vectors (p >= 1, or inf)."""
+    a = np.asarray(x, dtype=float).ravel()
+    b = np.asarray(y, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise DistanceError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if np.isinf(p):
+        return float(np.max(np.abs(a - b))) if len(a) else 0.0
+    if p < 1:
+        raise DistanceError("p must be >= 1 for a metric")
+    return float(np.sum(np.abs(a - b) ** p) ** (1.0 / p))
+
+
+def euclidean(x: np.ndarray, y: np.ndarray) -> float:
+    """L_2 distance — the paper's default (Section 3.1)."""
+    return lp_distance(x, y, 2.0)
+
+
+def manhattan(x: np.ndarray, y: np.ndarray) -> float:
+    """L_1 distance."""
+    return lp_distance(x, y, 1.0)
+
+
+def maximum_distance(x: np.ndarray, y: np.ndarray) -> float:
+    """L_inf distance."""
+    return lp_distance(x, y, np.inf)

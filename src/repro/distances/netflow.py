@@ -1,0 +1,58 @@
+"""Netflow distance (Ramon & Bruynooghe 2001).
+
+The paper's Lemma 1 rests on the netflow distance: a minimum-cost-flow
+generalization of set matching to *weighted* (multi-)sets that is proven
+to be a metric and polynomially computable; the minimal matching
+distance is its specialization to unit weights (Section 4.2).
+
+This module implements the netflow distance for integer multiplicities.
+Each element ``x`` with multiplicity ``mu(x)`` ships ``mu(x)`` units;
+surplus units of either side are absorbed by the weight function ``w``.
+For integer multiplicities the flow polytope has integral optima, so the
+computation reduces *exactly* to a minimal matching on the expanded
+multisets — which keeps the whole stack on the same audited Kuhn–Munkres
+core.  (Expansion is pseudo-polynomial in the multiplicities; the unit
+case — the paper's — stays O(k^3).)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.min_matching import DistanceFn, WeightFn, min_matching_distance
+from repro.exceptions import DistanceError
+
+
+def _expand(vectors: np.ndarray, multiplicities: Sequence[int] | None) -> np.ndarray:
+    arr = np.asarray(vectors, dtype=float)
+    if arr.ndim != 2 or not len(arr):
+        raise DistanceError("netflow distance needs non-empty (m, d) arrays")
+    if multiplicities is None:
+        return arr
+    counts = np.asarray(multiplicities)
+    if counts.shape != (len(arr),):
+        raise DistanceError("need one multiplicity per vector")
+    if np.any(counts < 1) or not np.issubdtype(counts.dtype, np.integer):
+        raise DistanceError("multiplicities must be positive integers")
+    return np.repeat(arr, counts, axis=0)
+
+
+def netflow_distance(
+    x: np.ndarray,
+    y: np.ndarray,
+    multiplicities_x: Sequence[int] | None = None,
+    multiplicities_y: Sequence[int] | None = None,
+    dist: str | DistanceFn = "euclidean",
+    weight: WeightFn | None = None,
+) -> float:
+    """Netflow distance between two weighted point sets.
+
+    With all multiplicities 1 (the default) this equals the minimal
+    matching distance of Definition 6, which is exactly the relationship
+    the paper uses to inherit metric-ness and polynomial computability.
+    """
+    expanded_x = _expand(x, multiplicities_x)
+    expanded_y = _expand(y, multiplicities_y)
+    return min_matching_distance(expanded_x, expanded_y, dist=dist, weight=weight)

@@ -1,0 +1,137 @@
+"""Set distances from Eiter & Mannila (1997), surveyed in Section 4.2.
+
+Given finite point sets ``X`` and ``Y`` and an element distance ``d``:
+
+* **Hausdorff**: ``max( max_x min_y d, max_y min_x d )`` — a metric, but
+  "relies too much on the extreme positions" (one outlier dominates),
+* **sum of minimum distances**: each element is charged its nearest
+  neighbor in the other set — intuitive but violates the triangle
+  inequality,
+* **surjection distance**: cheapest total cost of a surjective mapping
+  from the larger onto the smaller set,
+* **fair surjection distance**: surjection whose preimage sizes differ
+  by at most one (balanced),
+* **link distance**: cheapest *edge cover* — every element of either set
+  linked to at least one element of the other.
+
+The surjection variants and the link distance reduce exactly to square
+assignment problems (constructions documented inline) and are solved
+with the same Kuhn–Munkres code as the minimal matching distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matching import hungarian
+from repro.core.min_matching import DistanceFn, resolve_distance
+from repro.exceptions import DistanceError
+
+
+def _cross(x, y, dist: str | DistanceFn) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    arr_x = np.asarray(x, dtype=float)
+    arr_y = np.asarray(y, dtype=float)
+    if arr_x.ndim != 2 or arr_y.ndim != 2 or not len(arr_x) or not len(arr_y):
+        raise DistanceError("set distances need non-empty (m, d) arrays")
+    if arr_x.shape[1] != arr_y.shape[1]:
+        raise DistanceError("dimension mismatch between sets")
+    return arr_x, arr_y, resolve_distance(dist)(arr_x, arr_y)
+
+
+def hausdorff_distance(x, y, dist: str | DistanceFn = "euclidean") -> float:
+    """Classic (two-sided) Hausdorff distance."""
+    _, _, cost = _cross(x, y, dist)
+    return float(max(cost.min(axis=1).max(), cost.min(axis=0).max()))
+
+
+def sum_of_minimum_distances(x, y, dist: str | DistanceFn = "euclidean") -> float:
+    """Eiter–Mannila sum of minimum distances:
+    ``( sum_x min_y d + sum_y min_x d ) / 2``.  Not a metric."""
+    _, _, cost = _cross(x, y, dist)
+    return float((cost.min(axis=1).sum() + cost.min(axis=0).sum()) / 2.0)
+
+
+def surjection_distance(x, y, dist: str | DistanceFn = "euclidean") -> float:
+    """Minimum-cost surjection of the larger set onto the smaller.
+
+    Reduction: with ``m >= n``, an ``m x m`` assignment whose first
+    ``n`` columns are the elements of the smaller set (their forced
+    matching guarantees surjectivity) and whose remaining ``m - n``
+    columns are "free copies" charging each leftover element its
+    cheapest partner.
+    """
+    arr_x, arr_y, cost = _cross(x, y, dist)
+    if len(arr_x) < len(arr_y):
+        cost = cost.T
+    m, n = cost.shape
+    matrix = np.empty((m, m))
+    matrix[:, :n] = cost
+    if m > n:
+        matrix[:, n:] = cost.min(axis=1)[:, np.newaxis]
+    assignment = hungarian(matrix)
+    return float(matrix[np.arange(m), assignment].sum())
+
+
+def fair_surjection_distance(x, y, dist: str | DistanceFn = "euclidean") -> float:
+    """Minimum-cost *fair* surjection: preimage sizes differ by <= 1.
+
+    With ``m >= n``, every element of the smaller set must receive
+    either ``floor(m/n)`` or ``ceil(m/n)`` elements.  Reduction: give
+    each target ``floor`` mandatory copies plus one optional copy;
+    dummy rows absorb the surplus optional copies but may never occupy
+    a mandatory one (infinite cost there).
+    """
+    arr_x, arr_y, cost = _cross(x, y, dist)
+    if len(arr_x) < len(arr_y):
+        cost = cost.T
+    m, n = cost.shape
+    floor = m // n
+    total_columns = n * (floor + 1)
+    n_dummy = total_columns - m
+    big = float(cost.sum()) + 1.0
+    matrix = np.full((total_columns, total_columns), big)
+    # Columns: for each target j, first `floor` mandatory copies then one
+    # optional copy, laid out target-major.
+    for j in range(n):
+        base = j * (floor + 1)
+        matrix[:m, base : base + floor + 1] = cost[:, j : j + 1]
+    if n_dummy:
+        # Dummy rows: free on optional copies only.
+        optional_cols = [j * (floor + 1) + floor for j in range(n)]
+        matrix[m:, :] = big
+        matrix[np.ix_(range(m, total_columns), optional_cols)] = 0.0
+    assignment = hungarian(matrix)
+    value = float(matrix[np.arange(total_columns), assignment].sum())
+    if value >= big:
+        raise DistanceError("fair surjection reduction produced no feasible mapping")
+    return value
+
+
+def link_distance(x, y, dist: str | DistanceFn = "euclidean") -> float:
+    """Minimum-cost linking (edge cover): every element of both sets is
+    linked to at least one element of the other set.
+
+    Reduction (standard edge-cover-to-assignment): an optimal edge cover
+    is a matching plus cheapest incident edges for unmatched nodes.  The
+    ``(m+n) x (m+n)`` assignment has the real cost block in the top
+    left, per-node "stay single at cheapest-edge price" diagonals, and a
+    free dummy block.
+    """
+    arr_x, arr_y, cost = _cross(x, y, dist)
+    m, n = cost.shape
+    cheapest_x = cost.min(axis=1)
+    cheapest_y = cost.min(axis=0)
+    big = float(cost.sum() + cheapest_x.sum() + cheapest_y.sum()) + 1.0
+    size = m + n
+    matrix = np.full((size, size), big)
+    matrix[:m, :n] = cost
+    # x_i unmatched: pays its cheapest edge (diagonal in the right block).
+    matrix[:m, n:] = big
+    matrix[np.arange(m), n + np.arange(m)] = cheapest_x if m else 0.0
+    # y_j unmatched: pays its cheapest edge (diagonal in the bottom block).
+    matrix[m:, :n] = big
+    matrix[m + np.arange(n), np.arange(n)] = cheapest_y if n else 0.0
+    # Dummy-dummy pairs are free.
+    matrix[m:, n:] = 0.0
+    assignment = hungarian(matrix)
+    return float(matrix[np.arange(size), assignment].sum())

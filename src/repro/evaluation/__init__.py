@@ -1,0 +1,35 @@
+"""Evaluation harness: the paper's tables and figures as runnable code.
+
+Every experiment in Section 5 has a driver here; the ``benchmarks/``
+suite calls these drivers and prints the same rows/series the paper
+reports (see EXPERIMENTS.md for paper-vs-measured numbers).
+
+* :mod:`repro.evaluation.experiments` — dataset/feature preparation with
+  on-disk caching,
+* :mod:`repro.evaluation.figures` — reachability-plot experiments
+  (Figures 5–10),
+* :mod:`repro.evaluation.table1` — permutation-rate statistics,
+* :mod:`repro.evaluation.table2` — the 10-nn efficiency experiment,
+* :mod:`repro.evaluation.report` — plain-text table rendering.
+"""
+
+from repro.evaluation.experiments import (
+    DatasetBundle,
+    distance_matrix_for,
+    extract_features,
+    paper_model,
+    prepare_dataset,
+)
+from repro.evaluation.knn_quality import KnnQualityResult, leave_one_out_accuracy
+from repro.evaluation.report import format_table
+
+__all__ = [
+    "prepare_dataset",
+    "DatasetBundle",
+    "distance_matrix_for",
+    "extract_features",
+    "paper_model",
+    "format_table",
+    "leave_one_out_accuracy",
+    "KnnQualityResult",
+]

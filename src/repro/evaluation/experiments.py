@@ -1,0 +1,225 @@
+"""Dataset and feature preparation with on-disk caching.
+
+Feature extraction (greedy covers, solid-angle convolutions) and the
+pairwise matching-distance matrices behind the OPTICS figures are the
+expensive parts of the evaluation.  Both are deterministic functions of
+(dataset, seed, resolution, model parameters), so they are cached under
+``REPRO_CACHE_DIR`` (default: ``.repro_cache/`` in the working
+directory) and reused across test/benchmark runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.min_matching import min_matching_match
+from repro.core.permutation import permutation_distance_via_matching
+from repro.datasets.aircraft import default_aircraft_size, make_aircraft_dataset
+from repro.datasets.car import make_car_dataset
+from repro.exceptions import ReproError
+from repro.features.base import FeatureModel
+from repro.features.cover_sequence import CoverSequenceModel
+from repro.features.solid_angle import SolidAngleModel
+from repro.features.vector_set_model import VectorSetModel
+from repro.features.volume import VolumeModel
+from repro.pipeline import Pipeline, ProcessedObject
+
+
+def cache_dir() -> Path:
+    """The feature/distance cache directory (created on demand)."""
+    root = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+@dataclass
+class DatasetBundle:
+    """A prepared dataset: processed objects plus ground-truth labels."""
+
+    dataset: str
+    resolution: int
+    objects: list[ProcessedObject]
+    labels: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.objects)
+
+    def grids(self):
+        return [obj.grid for obj in self.objects]
+
+
+def _generate_parts(dataset: str, n: int | None, seed: int):
+    if dataset == "car":
+        return make_car_dataset(seed=seed)
+    if dataset == "aircraft":
+        return make_aircraft_dataset(n=n, seed=seed)
+    raise ReproError(f"unknown dataset {dataset!r} (use 'car' or 'aircraft')")
+
+
+def prepare_dataset(
+    dataset: str,
+    resolution: int = 15,
+    n: int | None = None,
+    seed: int | None = None,
+    use_cache: bool = True,
+) -> DatasetBundle:
+    """Generate, voxelize and normalize a dataset (cached on disk)."""
+    if seed is None:
+        seed = 2003 if dataset == "car" else 1903
+    if dataset == "aircraft" and n is None:
+        n = default_aircraft_size()
+    key = f"{dataset}_r{resolution}_n{n or 'std'}_s{seed}"
+    path = cache_dir() / f"grids_{key}.npz"
+    pipeline = Pipeline(resolution=resolution)
+
+    if use_cache and path.exists():
+        with np.load(path, allow_pickle=False) as data:
+            labels = data["labels"]
+            packed = data["packed"]
+            names = [str(s) for s in data["names"]]
+            families = [str(s) for s in data["families"]]
+            scales = data["scales"]
+        from repro.normalize.pose import PoseInfo
+        from repro.voxel.grid import VoxelGrid
+
+        objects = []
+        n_voxels = resolution**3
+        for i in range(len(labels)):
+            occupancy = np.unpackbits(packed[i], count=n_voxels).astype(bool)
+            objects.append(
+                ProcessedObject(
+                    name=names[i],
+                    family=families[i],
+                    class_id=int(labels[i]),
+                    grid=VoxelGrid(occupancy.reshape((resolution,) * 3)),
+                    pose=PoseInfo(tuple(scales[i]), (0, 0, 0)),
+                )
+            )
+        return DatasetBundle(dataset, resolution, objects, labels)
+
+    parts, labels = _generate_parts(dataset, n, seed)
+    objects = pipeline.process_parts(parts)
+    if use_cache:
+        np.savez_compressed(
+            path,
+            labels=labels,
+            packed=np.stack([np.packbits(obj.grid.occupancy) for obj in objects]),
+            names=np.array([obj.name for obj in objects]),
+            families=np.array([obj.family for obj in objects]),
+            scales=np.array([obj.pose.scale_factors for obj in objects]),
+        )
+    return DatasetBundle(dataset, resolution, objects, np.asarray(labels))
+
+
+# -- canonical model configurations (the paper's settings) --------------------
+
+
+def paper_model(name: str, k: int = 7, partitions: int = 5) -> FeatureModel:
+    """The model configurations used in Section 5.
+
+    ``volume`` / ``solid-angle`` run on r = 30 histograms; ``cover`` and
+    ``vector-set`` on r = 15 with k covers.
+    """
+    if name == "volume":
+        return VolumeModel(partitions=partitions)
+    if name == "solid-angle":
+        return SolidAngleModel(partitions=partitions, kernel_radius=4)
+    if name == "cover":
+        return CoverSequenceModel(k=k)
+    if name == "vector-set":
+        return VectorSetModel(k=k)
+    raise ReproError(f"unknown model {name!r}")
+
+
+def model_resolution(name: str) -> int:
+    """The raster resolution the paper pairs with each model."""
+    return 30 if name in ("volume", "solid-angle") else 15
+
+
+def extract_features(
+    bundle: DatasetBundle, model: FeatureModel, use_cache: bool = True
+) -> list[np.ndarray]:
+    """Extract (and cache) one feature array per object."""
+    key = (
+        f"feat_{bundle.dataset}_r{bundle.resolution}_n{bundle.n}_"
+        f"{model.name.replace('(', '_').replace(')', '').replace('=', '').replace(', ', '_')}"
+    )
+    path = cache_dir() / f"{key}.npz"
+    if use_cache and path.exists():
+        with np.load(path) as data:
+            return [data[f"a{i}"] for i in range(bundle.n)]
+    features = [model.extract(grid) for grid in bundle.grids()]
+    if use_cache:
+        np.savez_compressed(path, **{f"a{i}": feat for i, feat in enumerate(features)})
+    return features
+
+
+# -- pairwise distance matrices ------------------------------------------------
+
+
+def distance_matrix_for(
+    bundle: DatasetBundle,
+    features: list[np.ndarray],
+    kind: str,
+    cache_tag: str | None = None,
+    use_cache: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Pairwise distances (and permutation flags for matching kinds).
+
+    Parameters
+    ----------
+    kind:
+        ``"euclidean"`` — flat feature vectors, vectorized;
+        ``"matching"`` — minimal matching distance on vector sets
+        (Euclidean elements, norm weights);
+        ``"permutation"`` — minimum Euclidean distance under permutation
+        computed via the matching reduction.
+
+    Returns
+    -------
+    ``(matrix, proper_permutation)`` where the flag matrix marks pairs
+    whose optimal matching was *not* the identity alignment (None for
+    the euclidean kind) — the statistic behind Table 1.
+    """
+    if cache_tag and use_cache:
+        path = cache_dir() / f"dist_{cache_tag}.npz"
+        if path.exists():
+            with np.load(path) as data:
+                flags = data["flags"] if "flags" in data else None
+                return data["matrix"], flags
+    n = len(features)
+    matrix = np.zeros((n, n))
+    flags: np.ndarray | None = None
+
+    if kind == "euclidean":
+        flat = np.vstack([np.asarray(f, dtype=float).ravel() for f in features])
+        diff = flat[:, np.newaxis, :] - flat[np.newaxis, :, :]
+        matrix = np.sqrt(np.sum(diff * diff, axis=2))
+    elif kind == "matching":
+        flags = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            for j in range(i + 1, n):
+                result = min_matching_match(features[i], features[j])
+                matrix[i, j] = matrix[j, i] = result.distance
+                flags[i, j] = flags[j, i] = not result.is_identity
+    elif kind == "permutation":
+        flags = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = permutation_distance_via_matching(features[i], features[j])
+                matrix[i, j] = matrix[j, i] = value
+        flags = None
+    else:
+        raise ReproError(f"unknown distance kind {kind!r}")
+
+    if cache_tag and use_cache:
+        payload = {"matrix": matrix}
+        if flags is not None:
+            payload["flags"] = flags
+        np.savez_compressed(cache_dir() / f"dist_{cache_tag}.npz", **payload)
+    return matrix, flags

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch every failure mode of this package with a single ``except`` clause
+while still being able to distinguish finer-grained conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class GeometryError(ReproError):
+    """A mesh or solid is malformed (degenerate triangles, empty solids, ...)."""
+
+
+class VoxelizationError(ReproError):
+    """Voxelization failed or was given inconsistent grid parameters."""
+
+
+class FeatureError(ReproError):
+    """A feature model received input it cannot handle."""
+
+
+class DistanceError(ReproError):
+    """A distance function was used with incompatible operands."""
+
+
+class IndexError_(ReproError):
+    """An index structure was used inconsistently (not to be confused
+    with the built-in :class:`IndexError`)."""
+
+
+class QueryError(ReproError):
+    """A similarity query was malformed (k <= 0, negative range, ...)."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator received invalid parameters."""
+
+
+class StorageError(ReproError):
+    """Persistence layer failure (unknown format, corrupt file, ...)."""

@@ -1,0 +1,78 @@
+"""Shared infrastructure of the feature models.
+
+The histogram models of Section 3.3 partition the ``r^3`` raster into
+``p^3`` axis-parallel, equi-sized cells ("coarse voxels"); the paper
+requires ``r / p`` to be an integer so each voxel belongs to exactly one
+cell.  This module provides that partitioning plus the abstract
+:class:`FeatureModel` interface every model implements.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import FeatureError
+from repro.voxel.grid import VoxelGrid
+
+
+def check_partition(resolution: int, p: int) -> int:
+    """Validate the cell partitioning and return the cell side ``r / p``."""
+    if p < 1:
+        raise FeatureError("number of partitions p must be >= 1")
+    if resolution % p != 0:
+        raise FeatureError(
+            f"r/p must be an integer for a unique voxel-to-cell assignment "
+            f"(got r={resolution}, p={p})"
+        )
+    return resolution // p
+
+
+def cell_counts(grid: VoxelGrid, p: int) -> np.ndarray:
+    """Number of object voxels per cell, flattened to ``(p^3,)``.
+
+    Cell ``(a, b, c)`` maps to flat index ``a * p^2 + b * p + c``; this
+    fixed enumeration is what makes histogram bins comparable between
+    objects.
+    """
+    side = check_partition(grid.resolution, p)
+    blocks = grid.occupancy.reshape(p, side, p, side, p, side)
+    return blocks.sum(axis=(1, 3, 5)).reshape(-1)
+
+
+def cell_index_of_voxels(indices: np.ndarray, resolution: int, p: int) -> np.ndarray:
+    """Map ``(n, 3)`` voxel indices to their flat cell index."""
+    side = check_partition(resolution, p)
+    cells = indices // side
+    return cells[:, 0] * p * p + cells[:, 1] * p + cells[:, 2]
+
+
+class FeatureModel(ABC):
+    """A feature transform ``F: O -> R^d`` in the sense of Definition 1.
+
+    Implementations are stateless value objects: all parameters are fixed
+    at construction so a model instance can be shared between extraction,
+    indexing and query processing.
+    """
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier used in reports and experiment tables."""
+
+    @abstractmethod
+    def dimension(self, resolution: int) -> int:
+        """Feature dimensionality for a given raster resolution."""
+
+    @abstractmethod
+    def extract(self, grid: VoxelGrid) -> np.ndarray:
+        """Map a voxel grid to its feature vector (or vector set)."""
+
+    def extract_many(self, grids: list[VoxelGrid]) -> list[np.ndarray]:
+        """Extract features for a list of grids (overridable for batch
+        optimizations; the default just loops)."""
+        return [self.extract(grid) for grid in grids]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

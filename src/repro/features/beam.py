@@ -1,0 +1,193 @@
+"""Beam search for cover sequences.
+
+Jagadish & Bruckstein propose two retrieval algorithms for the cover
+sequence ``S_k``: an exact branch-and-bound with exponential runtime and
+the greedy heuristic the paper (and our
+:func:`~repro.features.cover_sequence.extract_cover_sequence`) uses.
+Beam search interpolates between them: it expands the ``beam_width``
+best partial sequences per step over the ``candidates_per_sign`` best
+"+"/"-" boxes each.
+
+* ``beam_width=1, candidates_per_sign=1`` reproduces the greedy result
+  exactly;
+* the best final error is **never worse than greedy's** for any
+  ``beam_width >= 1`` (the greedy trajectory survives every pruning
+  step as long as nothing strictly better displaces it);
+* in the limit it enumerates everything (the branch-and-bound regime),
+  with cost growing as ``(beam_width * candidates)^k``-ish.
+
+The ablation benchmark measures how much approximation error greedy
+actually leaves on the table — on the synthetic datasets the margin is
+small, supporting the paper's choice of the polynomial algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import FeatureError
+from repro.features.cover_sequence import Cover, CoverSequence, _pair_indices
+from repro.voxel.grid import VoxelGrid
+
+
+def all_box_gains(weights: np.ndarray, top: int) -> list[tuple[float, np.ndarray, np.ndarray]]:
+    """The *top* boxes of a weight grid by total weight, descending.
+
+    Enumerates all O(r^6) boxes through the summed-area table (cropped
+    to the non-zero region like :func:`max_sum_box`) and returns the
+    best *top* as ``(gain, lower, upper)`` triples with positive gain.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 3:
+        raise FeatureError(f"expected a 3-D weight grid, got shape {weights.shape}")
+    if top < 1:
+        raise FeatureError("top must be >= 1")
+    nonzero = np.nonzero(weights)
+    if not len(nonzero[0]):
+        return []
+    lows = np.array([axis.min() for axis in nonzero])
+    highs = np.array([axis.max() for axis in nonzero])
+    cropped = weights[
+        lows[0] : highs[0] + 1, lows[1] : highs[1] + 1, lows[2] : highs[2] + 1
+    ]
+
+    rx, ry, rz = cropped.shape
+    sat = np.zeros((rx + 1, ry + 1, rz + 1))
+    sat[1:, 1:, 1:] = cropped.cumsum(0).cumsum(1).cumsum(2)
+    x_lo, x_hi = _pair_indices(rx)
+    y_lo, y_hi = _pair_indices(ry)
+    z_lo, z_hi = _pair_indices(rz)
+    diff_x = sat[x_hi] - sat[x_lo]
+    diff_xy = diff_x[:, y_hi, :] - diff_x[:, y_lo, :]
+    diff_xyz = diff_xy[:, :, z_hi] - diff_xy[:, :, z_lo]
+
+    flat = diff_xyz.reshape(-1)
+    count = min(top, flat.size)
+    best_idx = np.argpartition(flat, -count)[-count:]
+    best_idx = best_idx[np.argsort(flat[best_idx])[::-1]]
+    results = []
+    shape = diff_xyz.shape
+    for index in best_idx:
+        gain = float(flat[index])
+        if gain <= 0:
+            break
+        ix, iy, iz = np.unravel_index(int(index), shape)
+        lower = np.array([x_lo[ix], y_lo[iy], z_lo[iz]]) + lows
+        upper = np.array([x_hi[ix] - 1, y_hi[iy] - 1, z_hi[iz] - 1]) + lows
+        results.append((gain, lower, upper))
+    return results
+
+
+@dataclass
+class _BeamState:
+    """One partial cover sequence in the beam."""
+
+    state: np.ndarray  # current approximation S
+    covers: list[Cover]
+    errors: list[int]
+
+    @property
+    def error(self) -> int:
+        return self.errors[-1]
+
+
+def beam_cover_search(
+    grid: VoxelGrid,
+    k: int = 7,
+    beam_width: int = 4,
+    candidates_per_sign: int = 4,
+    allow_subtraction: bool = True,
+) -> CoverSequence:
+    """Cover sequence via beam search over the best candidate boxes.
+
+    Parameters
+    ----------
+    grid:
+        Voxel object to approximate.
+    k:
+        Maximum number of covers.
+    beam_width:
+        Partial sequences kept per step (1 = greedy).
+    candidates_per_sign:
+        Top boxes considered per sign per expansion.
+    allow_subtraction:
+        Permit "-" covers (as in the greedy extractor).
+    """
+    if k < 1:
+        raise FeatureError("need k >= 1 covers")
+    if beam_width < 1 or candidates_per_sign < 1:
+        raise FeatureError("beam_width and candidates_per_sign must be >= 1")
+    if grid.is_empty():
+        raise FeatureError("cannot extract covers from an empty grid")
+
+    target = grid.occupancy
+    initial = _BeamState(
+        state=np.zeros_like(target),
+        covers=[],
+        errors=[int(target.sum())],
+    )
+    beam = [initial]
+    finished: list[_BeamState] = []
+
+    for _ in range(k):
+        expansions: list[_BeamState] = []
+        seen: set[bytes] = set()
+        for node in beam:
+            uncovered = ~node.state
+            weight_add = np.where(target & uncovered, 1.0, 0.0) - np.where(
+                ~target & uncovered, 1.0, 0.0
+            )
+            candidates = [
+                (1, gain, lower, upper)
+                for gain, lower, upper in all_box_gains(weight_add, candidates_per_sign)
+            ]
+            if allow_subtraction and node.covers:
+                weight_sub = np.where(node.state & ~target, 1.0, 0.0) - np.where(
+                    node.state & target, 1.0, 0.0
+                )
+                candidates.extend(
+                    (-1, gain, lower, upper)
+                    for gain, lower, upper in all_box_gains(
+                        weight_sub, candidates_per_sign
+                    )
+                )
+            if not candidates:
+                finished.append(node)
+                continue
+            for sign, gain, lower, upper in candidates:
+                cover = Cover(
+                    sign=sign,
+                    lower=(int(lower[0]), int(lower[1]), int(lower[2])),
+                    upper=(int(upper[0]), int(upper[1]), int(upper[2])),
+                    gain=int(round(gain)),
+                )
+                mask = cover.mask(grid.resolution)
+                new_state = node.state | mask if sign > 0 else node.state & ~mask
+                key = new_state.tobytes()
+                if key in seen:
+                    continue  # two paths reached the same approximation
+                seen.add(key)
+                error = int(np.count_nonzero(new_state ^ target))
+                expansions.append(
+                    _BeamState(
+                        state=new_state,
+                        covers=node.covers + [cover],
+                        errors=node.errors + [error],
+                    )
+                )
+        if not expansions:
+            break
+        expansions.sort(key=lambda node: (node.error, len(node.covers)))
+        beam = expansions[:beam_width]
+        exact = [node for node in beam if node.error == 0]
+        if exact:
+            finished.extend(exact)
+            beam = [node for node in beam if node.error != 0]
+            if not beam:
+                break
+
+    finished.extend(beam)
+    best = min(finished, key=lambda node: (node.error, len(node.covers)))
+    return CoverSequence(covers=best.covers, errors=best.errors, resolution=grid.resolution)

@@ -1,0 +1,53 @@
+"""Geometry substrate: triangle meshes, solids and affine transforms.
+
+This subpackage provides the raw-geometry layer under the voxelization
+pipeline of the paper.  CAD parts can either be described as
+:class:`~repro.geometry.sdf.Solid` objects (exact point-membership
+predicates, used by the synthetic datasets) or as
+:class:`~repro.geometry.mesh.TriangleMesh` objects (used for OFF/STL
+input).  Both can be voxelized by :mod:`repro.voxel`.
+"""
+
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.sdf import (
+    Box,
+    Capsule,
+    Cone,
+    Cylinder,
+    Difference,
+    Ellipsoid,
+    Intersection,
+    Solid,
+    Sphere,
+    Torus,
+    Transformed,
+    Union,
+)
+from repro.geometry.transform import (
+    Transform,
+    reflection_matrix,
+    rotation_matrix,
+    rotation_matrices_90,
+    symmetry_matrices,
+)
+
+__all__ = [
+    "TriangleMesh",
+    "Solid",
+    "Box",
+    "Sphere",
+    "Ellipsoid",
+    "Cylinder",
+    "Capsule",
+    "Cone",
+    "Torus",
+    "Union",
+    "Intersection",
+    "Difference",
+    "Transformed",
+    "Transform",
+    "rotation_matrix",
+    "reflection_matrix",
+    "rotation_matrices_90",
+    "symmetry_matrices",
+]

@@ -1,0 +1,79 @@
+"""Sequential-scan baselines with page accounting.
+
+Two scan flavours back the paper's comparisons:
+
+* :class:`SequentialScan` over plain feature vectors (the alternative
+  the paper mentions for the one-vector model), and
+* a raw byte-stream read used by the "Vect. Set seq. scan" row of
+  Table 2, where every query reads the whole vector-set file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import IndexError_
+from repro.index.pages import PageManager
+
+
+class SequentialScan:
+    """A 'no index': every query reads the full vector collection.
+
+    Provides the same query interface as the trees so experiment drivers
+    can swap access methods freely.
+    """
+
+    def __init__(self, dimension: int, page_manager: PageManager | None = None):
+        if dimension < 1:
+            raise IndexError_("dimension must be >= 1")
+        self.dimension = dimension
+        self.pages = page_manager or PageManager()
+        self._points: list[np.ndarray] = []
+        self._oids: list[int] = []
+
+    @property
+    def size(self) -> int:
+        return len(self._oids)
+
+    def insert(self, point: np.ndarray, oid: int) -> None:
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dimension,):
+            raise IndexError_(f"expected a {self.dimension}-d point, got {point.shape}")
+        self._points.append(point.copy())
+        self._oids.append(oid)
+
+    def _charge_full_read(self) -> None:
+        self.pages.read_bytes(self.size * self.dimension * 8)
+
+    def range_search(self, center: np.ndarray, radius: float) -> list[int]:
+        if radius < 0:
+            raise IndexError_("radius must be non-negative")
+        if not self.size:
+            return []
+        self._charge_full_read()
+        center = np.asarray(center, dtype=float)
+        matrix = np.vstack(self._points)
+        dists = np.linalg.norm(matrix - center, axis=1)
+        return [self._oids[i] for i in np.nonzero(dists <= radius)[0]]
+
+    def incremental_nearest(self, point: np.ndarray) -> Iterator[tuple[int, float]]:
+        if not self.size:
+            return
+        self._charge_full_read()
+        point = np.asarray(point, dtype=float)
+        matrix = np.vstack(self._points)
+        dists = np.linalg.norm(matrix - point, axis=1)
+        for i in np.argsort(dists, kind="stable"):
+            yield self._oids[i], float(dists[i])
+
+    def knn(self, point: np.ndarray, k: int) -> list[tuple[int, float]]:
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        result = []
+        for oid, dist in self.incremental_nearest(point):
+            result.append((oid, dist))
+            if len(result) == k:
+                break
+        return result

@@ -1,0 +1,26 @@
+"""Persistence: mesh formats, voxel grids and the object database."""
+
+from repro.io.database import ObjectDatabase, StoredObject
+from repro.io.export import (
+    export_distance_matrix_csv,
+    export_reachability_csv,
+    export_table_csv,
+)
+from repro.io.off import read_off, write_off
+from repro.io.stl import read_stl, write_stl_ascii, write_stl_binary
+from repro.io.vox import load_grid, save_grid
+
+__all__ = [
+    "read_off",
+    "write_off",
+    "read_stl",
+    "write_stl_ascii",
+    "write_stl_binary",
+    "save_grid",
+    "load_grid",
+    "ObjectDatabase",
+    "StoredObject",
+    "export_reachability_csv",
+    "export_distance_matrix_csv",
+    "export_table_csv",
+]

@@ -1,0 +1,92 @@
+"""CSV export of experiment artifacts.
+
+The paper's figures are reachability plots and its tables are small
+grids of numbers; these helpers dump both — plus distance matrices —
+as plain CSV so the results can be re-plotted with any external tool
+(gnuplot, pandas, a spreadsheet).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.clustering.optics import ClusterOrdering
+from repro.exceptions import StorageError
+
+
+def export_reachability_csv(
+    ordering: ClusterOrdering,
+    path: str | Path,
+    names: Sequence[str] | None = None,
+) -> None:
+    """Write a reachability plot as CSV: position, object id, (name),
+    reachability, core distance.  Infinite values are written as the
+    string ``inf`` (readable by numpy and pandas)."""
+    if names is not None and len(names) != len(ordering):
+        raise StorageError("need one name per object")
+    try:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            header = ["position", "object_id"]
+            if names is not None:
+                header.append("name")
+            header += ["reachability", "core_distance"]
+            writer.writerow(header)
+            for position in range(len(ordering)):
+                obj = int(ordering.order[position])
+                row: list = [position, obj]
+                if names is not None:
+                    row.append(names[obj])
+                row += [
+                    ordering.reachability[position],
+                    ordering.core_distances[position],
+                ]
+                writer.writerow(row)
+    except OSError as exc:
+        raise StorageError(f"cannot write CSV {path}: {exc}") from exc
+
+
+def export_distance_matrix_csv(
+    matrix: np.ndarray,
+    path: str | Path,
+    names: Sequence[str] | None = None,
+) -> None:
+    """Write a (symmetric) distance matrix as CSV with optional header
+    row/column of object names."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise StorageError(f"distance matrix must be square, got {arr.shape}")
+    if names is not None and len(names) != len(arr):
+        raise StorageError("need one name per object")
+    try:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            if names is not None:
+                writer.writerow(["", *names])
+            for index, row in enumerate(arr):
+                prefix = [names[index]] if names is not None else []
+                writer.writerow(prefix + [f"{value:.9g}" for value in row])
+    except OSError as exc:
+        raise StorageError(f"cannot write CSV {path}: {exc}") from exc
+
+
+def export_table_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    path: str | Path,
+) -> None:
+    """Write an experiment table (same shape as
+    :func:`repro.evaluation.report.format_table` input) as CSV."""
+    if any(len(row) != len(headers) for row in rows):
+        raise StorageError("every row must match the header length")
+    try:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(headers)
+            writer.writerows(rows)
+    except OSError as exc:
+        raise StorageError(f"cannot write CSV {path}: {exc}") from exc

@@ -1,0 +1,83 @@
+"""OFF (Object File Format) mesh reader/writer.
+
+OFF is the simplest widely used mesh interchange format; CAD parts
+exported for similarity search pipelines like the paper's are routinely
+shipped this way.  Faces with more than three vertices are fan-
+triangulated on read.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.geometry.mesh import TriangleMesh
+
+
+def _meaningful_lines(text: str) -> list[str]:
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            lines.append(line)
+    return lines
+
+
+def read_off(path: str | Path) -> TriangleMesh:
+    """Read an OFF file into a :class:`TriangleMesh`."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise StorageError(f"cannot read OFF file {path}: {exc}") from exc
+    lines = _meaningful_lines(text)
+    if not lines:
+        raise StorageError(f"{path}: empty OFF file")
+    cursor = 0
+    header = lines[cursor]
+    if header.upper().startswith("OFF"):
+        cursor += 1
+        remainder = header[3:].strip()
+        if remainder:  # counts on the same line as the magic
+            lines.insert(cursor, remainder)
+    try:
+        n_vertices, n_faces, _ = (int(tok) for tok in lines[cursor].split()[:3])
+    except (ValueError, IndexError):
+        raise StorageError(f"{path}: malformed OFF counts line") from None
+    cursor += 1
+    if len(lines) < cursor + n_vertices + n_faces:
+        raise StorageError(f"{path}: truncated OFF file")
+    try:
+        vertices = np.array(
+            [[float(tok) for tok in lines[cursor + i].split()[:3]] for i in range(n_vertices)]
+        )
+    except ValueError:
+        raise StorageError(f"{path}: malformed vertex line") from None
+    cursor += n_vertices
+    faces: list[list[int]] = []
+    for i in range(n_faces):
+        tokens = lines[cursor + i].split()
+        try:
+            arity = int(tokens[0])
+            indices = [int(tok) for tok in tokens[1 : 1 + arity]]
+        except (ValueError, IndexError):
+            raise StorageError(f"{path}: malformed face line") from None
+        if arity < 3 or len(indices) != arity:
+            raise StorageError(f"{path}: face with arity {arity} is invalid")
+        for j in range(1, arity - 1):  # fan triangulation
+            faces.append([indices[0], indices[j], indices[j + 1]])
+    return TriangleMesh(vertices, np.asarray(faces, dtype=int))
+
+
+def write_off(mesh: TriangleMesh, path: str | Path) -> None:
+    """Write a :class:`TriangleMesh` as OFF."""
+    lines = ["OFF", f"{mesh.num_vertices} {mesh.num_faces} 0"]
+    lines.extend(
+        f"{vertex[0]:.9g} {vertex[1]:.9g} {vertex[2]:.9g}" for vertex in mesh.vertices
+    )
+    lines.extend(f"3 {face[0]} {face[1]} {face[2]}" for face in mesh.faces)
+    try:
+        Path(path).write_text("\n".join(lines) + "\n")
+    except OSError as exc:
+        raise StorageError(f"cannot write OFF file {path}: {exc}") from exc

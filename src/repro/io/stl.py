@@ -1,0 +1,100 @@
+"""STL mesh reader/writer (ASCII and binary).
+
+STL is the de-facto exchange format of voxelization-oriented CAD
+tooling.  The reader auto-detects ASCII vs binary; vertices are *not*
+welded (STL carries no connectivity), which is fine for voxelization.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.geometry.mesh import TriangleMesh
+
+
+def _read_ascii(text: str, path) -> TriangleMesh:
+    vertices: list[list[float]] = []
+    for line in text.splitlines():
+        tokens = line.split()
+        if tokens[:1] == ["vertex"]:
+            if len(tokens) < 4:
+                raise StorageError(f"{path}: malformed vertex line")
+            vertices.append([float(tok) for tok in tokens[1:4]])
+    if not vertices or len(vertices) % 3:
+        raise StorageError(f"{path}: ASCII STL does not contain whole triangles")
+    verts = np.asarray(vertices)
+    faces = np.arange(len(verts)).reshape(-1, 3)
+    return TriangleMesh(verts, faces)
+
+
+def _read_binary(blob: bytes, path) -> TriangleMesh:
+    if len(blob) < 84:
+        raise StorageError(f"{path}: binary STL too short")
+    (n_triangles,) = struct.unpack_from("<I", blob, 80)
+    expected = 84 + n_triangles * 50
+    if len(blob) < expected:
+        raise StorageError(f"{path}: binary STL truncated")
+    raw = np.frombuffer(blob, dtype=np.uint8, count=n_triangles * 50, offset=84)
+    records = raw.reshape(n_triangles, 50)
+    floats = records[:, :48].copy().view("<f4").reshape(n_triangles, 12)
+    verts = floats[:, 3:12].reshape(-1, 3).astype(float)  # skip the normal
+    faces = np.arange(len(verts)).reshape(-1, 3)
+    return TriangleMesh(verts, faces)
+
+
+def read_stl(path: str | Path) -> TriangleMesh:
+    """Read an STL file (format auto-detected)."""
+    try:
+        blob = Path(path).read_bytes()
+    except OSError as exc:
+        raise StorageError(f"cannot read STL file {path}: {exc}") from exc
+    head = blob[:512].lstrip()
+    if head.startswith(b"solid"):
+        try:
+            return _read_ascii(blob.decode("ascii", errors="strict"), path)
+        except (UnicodeDecodeError, StorageError):
+            pass  # "solid" prefix but actually binary — fall through
+    return _read_binary(blob, path)
+
+
+def write_stl_ascii(mesh: TriangleMesh, path: str | Path, name: str = "repro") -> None:
+    """Write a mesh as ASCII STL."""
+    tri = mesh.triangles()
+    normals = np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0])
+    lengths = np.linalg.norm(normals, axis=1, keepdims=True)
+    normals = np.divide(normals, lengths, out=np.zeros_like(normals), where=lengths > 0)
+    lines = [f"solid {name}"]
+    for face, normal in zip(tri, normals):
+        lines.append(f"  facet normal {normal[0]:.9g} {normal[1]:.9g} {normal[2]:.9g}")
+        lines.append("    outer loop")
+        for vertex in face:
+            lines.append(f"      vertex {vertex[0]:.9g} {vertex[1]:.9g} {vertex[2]:.9g}")
+        lines.append("    endloop")
+        lines.append("  endfacet")
+    lines.append(f"endsolid {name}")
+    try:
+        Path(path).write_text("\n".join(lines) + "\n")
+    except OSError as exc:
+        raise StorageError(f"cannot write STL file {path}: {exc}") from exc
+
+
+def write_stl_binary(mesh: TriangleMesh, path: str | Path) -> None:
+    """Write a mesh as binary STL."""
+    tri = mesh.triangles().astype("<f4")
+    normals = np.cross(
+        tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0]
+    ).astype("<f4")
+    lengths = np.linalg.norm(normals, axis=1, keepdims=True)
+    normals = np.divide(normals, lengths, out=np.zeros_like(normals), where=lengths > 0)
+    records = np.zeros((len(tri), 50), dtype=np.uint8)
+    payload = np.concatenate([normals[:, np.newaxis, :], tri], axis=1)  # (n, 4, 3)
+    records[:, :48] = payload.reshape(len(tri), 12).view(np.uint8).reshape(len(tri), 48)
+    blob = b"repro binary stl".ljust(80, b"\0") + struct.pack("<I", len(tri)) + records.tobytes()
+    try:
+        Path(path).write_bytes(blob)
+    except OSError as exc:
+        raise StorageError(f"cannot write STL file {path}: {exc}") from exc

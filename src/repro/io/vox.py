@@ -1,0 +1,39 @@
+"""Voxel-grid persistence (compressed ``.npz``)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.voxel.grid import VoxelGrid
+
+
+def save_grid(grid: VoxelGrid, path: str | Path) -> None:
+    """Persist a voxel grid (occupancy bit-packed, origin, voxel size)."""
+    try:
+        np.savez_compressed(
+            Path(path),
+            packed=np.packbits(grid.occupancy),
+            resolution=np.array([grid.resolution]),
+            origin=grid.origin,
+            voxel_size=np.array([grid.voxel_size]),
+        )
+    except OSError as exc:
+        raise StorageError(f"cannot write voxel grid {path}: {exc}") from exc
+
+
+def load_grid(path: str | Path) -> VoxelGrid:
+    """Load a voxel grid written by :func:`save_grid`."""
+    try:
+        with np.load(Path(path)) as data:
+            resolution = int(data["resolution"][0])
+            packed = data["packed"]
+            origin = data["origin"]
+            voxel_size = float(data["voxel_size"][0])
+    except (OSError, KeyError, ValueError) as exc:
+        raise StorageError(f"cannot load voxel grid {path}: {exc}") from exc
+    n_voxels = resolution**3
+    occupancy = np.unpackbits(packed, count=n_voxels).astype(bool)
+    return VoxelGrid(occupancy.reshape((resolution,) * 3), origin, voxel_size)

@@ -1,0 +1,175 @@
+"""Turning geometry into voxel grids.
+
+Three entry points:
+
+* :func:`voxelize_solid` — exact voxelization of an analytic
+  :class:`~repro.geometry.sdf.Solid` by evaluating its membership
+  predicate at voxel centers (used by the synthetic datasets),
+* :func:`voxelize_mesh` — surface rasterization of a triangle mesh with
+  optional solid fill (used for OFF/STL input),
+* :func:`voxelize_points` — wrap a point cloud into a grid (used by the
+  2-D/3-D clustering demos).
+
+All of them fit the object into the cubic raster with a configurable
+margin, optionally preserving the aspect ratio, and report the world
+scale factors so scaling invariance can be toggled later (Section 3.2 of
+the paper stores these factors alongside the normalized object).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import VoxelizationError
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.sdf import Solid
+from repro.voxel.grid import VoxelGrid
+from repro.voxel.morphology import fill_solid
+
+
+def _fit_frame(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    resolution: int,
+    margin: int,
+    keep_aspect: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute world-space origin and per-axis voxel size for a bounding
+    box mapped into ``resolution^3`` voxels with *margin* empty voxels on
+    every side."""
+    if resolution < 1:
+        raise VoxelizationError("resolution must be >= 1")
+    if margin < 0 or 2 * margin >= resolution:
+        raise VoxelizationError("margin must satisfy 0 <= 2*margin < resolution")
+    extent = np.maximum(upper - lower, 1e-12)
+    usable = resolution - 2 * margin
+    if keep_aspect:
+        voxel = np.full(3, extent.max() / usable)
+    else:
+        voxel = extent / usable
+    # Center the object inside the usable region.
+    center = (lower + upper) / 2.0
+    origin = center - voxel * resolution / 2.0
+    return origin, voxel
+
+
+def voxelize_solid(
+    solid: Solid,
+    resolution: int = 15,
+    margin: int = 1,
+    keep_aspect: bool = True,
+    supersample: int = 1,
+) -> VoxelGrid:
+    """Voxelize an analytic solid by point membership.
+
+    Parameters
+    ----------
+    solid:
+        The solid to voxelize.
+    resolution:
+        Raster resolution ``r`` (the paper uses 15 and 30).
+    margin:
+        Number of guaranteed-empty voxels on each side of the raster
+        (keeps surface voxels off the grid boundary).
+    keep_aspect:
+        If true (default), one isotropic scale is used so the object's
+        proportions survive; otherwise each axis is stretched to fill the
+        raster (the "scaling factors" the paper stores per axis).
+    supersample:
+        Sub-samples per voxel edge; a voxel is marked when *any*
+        sub-sample lies inside the solid.  The default of 1 is pure
+        center sampling — unbiased, so two near-identical parts at
+        slightly different lattice alignments voxelize near-identically
+        (important for similarity quality).  Values > 1 approximate the
+        intersection-based, *conservative* marking of industrial
+        voxelizers: nothing thinner than ``voxel / supersample`` can
+        vanish, at the cost of alignment-dependent fattening of all
+        surfaces.  Model features thinner than one voxel at your raster
+        resolution, or voxelize them conservatively — not both.
+    """
+    if supersample < 1:
+        raise VoxelizationError("supersample must be >= 1")
+    lower, upper = solid.bounds()
+    origin, voxel = _fit_frame(
+        np.asarray(lower, dtype=float), np.asarray(upper, dtype=float),
+        resolution, margin, keep_aspect,
+    )
+    fine = resolution * supersample
+    coords = (np.arange(fine) + 0.5) / supersample
+    xs = origin[0] + coords * voxel[0]
+    ys = origin[1] + coords * voxel[1]
+    zs = origin[2] + coords * voxel[2]
+    gx, gy, gz = np.meshgrid(xs, ys, zs, indexing="ij")
+    points = np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+    inside = solid.contains(points).reshape((fine,) * 3)
+    if supersample > 1:
+        blocks = inside.reshape(
+            resolution, supersample, resolution, supersample, resolution, supersample
+        )
+        inside = blocks.any(axis=(1, 3, 5))
+    return VoxelGrid(inside, origin, float(voxel.max()))
+
+
+def voxelize_mesh(
+    mesh: TriangleMesh,
+    resolution: int = 15,
+    margin: int = 1,
+    keep_aspect: bool = True,
+    fill: bool = True,
+) -> VoxelGrid:
+    """Voxelize a triangle mesh.
+
+    The surface is rasterized by adaptively supersampling every triangle
+    at a density finer than half a voxel, which guarantees a gap-free
+    26-connected surface; if *fill* is true the enclosed volume is then
+    solid-filled by an outside flood fill.
+    """
+    mesh.validate()
+    lower, upper = mesh.bounds()
+    origin, voxel = _fit_frame(lower, upper, resolution, margin, keep_aspect)
+    occupancy = np.zeros((resolution,) * 3, dtype=bool)
+    step = voxel.min() / 2.0
+
+    for tri in mesh.triangles():
+        a, b, c = tri
+        edge_len = max(
+            np.linalg.norm(b - a), np.linalg.norm(c - a), np.linalg.norm(c - b)
+        )
+        n = max(1, int(np.ceil(edge_len / step)))
+        # Barycentric lattice with (n + 1)(n + 2) / 2 samples.
+        ii, jj = np.meshgrid(np.arange(n + 1), np.arange(n + 1), indexing="ij")
+        keep = ii + jj <= n
+        u = ii[keep] / n
+        v = jj[keep] / n
+        samples = (
+            a[np.newaxis, :] * (1.0 - u - v)[:, np.newaxis]
+            + b[np.newaxis, :] * u[:, np.newaxis]
+            + c[np.newaxis, :] * v[:, np.newaxis]
+        )
+        idx = np.floor((samples - origin) / voxel).astype(int)
+        idx = np.clip(idx, 0, resolution - 1)
+        occupancy[idx[:, 0], idx[:, 1], idx[:, 2]] = True
+
+    if fill:
+        occupancy = fill_solid(occupancy)
+    return VoxelGrid(occupancy, origin, float(voxel.max()))
+
+
+def voxelize_points(
+    points: np.ndarray,
+    resolution: int = 15,
+    margin: int = 1,
+    keep_aspect: bool = True,
+) -> VoxelGrid:
+    """Mark the voxels hit by a point cloud."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise VoxelizationError(f"expected (n, 3) points, got shape {pts.shape}")
+    if not len(pts):
+        raise VoxelizationError("cannot voxelize an empty point cloud")
+    origin, voxel = _fit_frame(pts.min(axis=0), pts.max(axis=0), resolution, margin, keep_aspect)
+    occupancy = np.zeros((resolution,) * 3, dtype=bool)
+    idx = np.floor((pts - origin) / voxel).astype(int)
+    idx = np.clip(idx, 0, resolution - 1)
+    occupancy[idx[:, 0], idx[:, 1], idx[:, 2]] = True
+    return VoxelGrid(occupancy, origin, float(voxel.max()))

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.sdf import Box, Cylinder, Sphere, Torus
+from repro.voxel.voxelize import voxelize_solid
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def lshape_grid():
+    """A small asymmetric L-shaped solid on a 12^3 grid — handy because
+    it has no nontrivial symmetry and needs two covers exactly."""
+    solid = Box(size=(2.0, 1.0, 0.5)) | Box(center=(0.6, 0.0, 0.75), size=(0.8, 1.0, 1.0))
+    return voxelize_solid(solid, resolution=12)
+
+
+@pytest.fixture
+def tire_grid():
+    """A torus (tire-like) on the paper's r=15 raster."""
+    return voxelize_solid(Torus(major_radius=1.0, minor_radius=0.35), resolution=15)
+
+
+@pytest.fixture
+def sphere_grid():
+    """A ball on a 15^3 raster (maximal symmetry)."""
+    return voxelize_solid(Sphere(radius=1.0), resolution=15)
+
+
+@pytest.fixture
+def rod_grid():
+    """A thin cylinder along x (strongly anisotropic)."""
+    return voxelize_solid(Cylinder(radius=0.25, height=2.5, axis="x"), resolution=15)
+
+
+def random_vector_sets(rng, count, dim=6, max_size=7):
+    """Helper used across distance tests."""
+    return [
+        rng.normal(size=(rng.integers(1, max_size + 1), dim)) for _ in range(count)
+    ]

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.geometry.mesh import torus_mesh
+from repro.io.stl import write_stl_binary
+
+
+@pytest.fixture(scope="module")
+def car_db(tmp_path_factory):
+    """A small ingested database reused across CLI tests."""
+    path = tmp_path_factory.mktemp("clidb") / "car.npz"
+    code = main(
+        ["ingest", "--dataset", "aircraft", "--n", "40", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestIngest:
+    def test_ingest_car_subset(self, tmp_path, capsys):
+        out = tmp_path / "db.npz"
+        code = main(["ingest", "--dataset", "aircraft", "--n", "15", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "ingested 15 objects" in capsys.readouterr().out
+
+    def test_ingest_mesh_directory(self, tmp_path, capsys):
+        mesh_dir = tmp_path / "meshes"
+        mesh_dir.mkdir()
+        for index in range(3):
+            write_stl_binary(
+                torus_mesh(major_radius=1.0 + 0.1 * index, minor_radius=0.3),
+                mesh_dir / f"part{index}.stl",
+            )
+        out = tmp_path / "meshes.npz"
+        code = main(["ingest", "--meshes", str(mesh_dir), "--out", str(out)])
+        assert code == 0
+        assert "ingested 3 objects" in capsys.readouterr().out
+
+    def test_ingest_empty_mesh_dir_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["ingest", "--meshes", str(empty), "--out", str(tmp_path / "x.npz")])
+        assert code == 2
+
+
+class TestQuery:
+    def test_query_by_name(self, car_db, capsys):
+        # Use whatever the first stored object is called.
+        from repro.io.database import ObjectDatabase
+
+        name = ObjectDatabase.load(car_db).names()[0]
+        code = main(["query", str(car_db), "--name", name, "-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert name in out
+        assert "refined" in out
+
+    def test_query_unknown_name_fails(self, car_db):
+        assert main(["query", str(car_db), "--name", "warp-coil"]) == 2
+
+    def test_query_by_mesh(self, car_db, tmp_path, capsys):
+        mesh_path = tmp_path / "query.stl"
+        write_stl_binary(torus_mesh(major_radius=1.0, minor_radius=0.3), mesh_path)
+        code = main(["query", str(car_db), "--mesh", str(mesh_path), "-k", "2"])
+        assert code == 0
+        assert "distance" in capsys.readouterr().out
+
+    def test_query_wrong_covers_fails(self, car_db):
+        assert main(["query", str(car_db), "--name", "x", "--covers", "5"]) == 1
+
+
+class TestClusterAndInfo:
+    def test_cluster(self, car_db, capsys):
+        code = main(["cluster", str(car_db), "--min-pts", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reachability" in out
+        assert "cut at eps" in out
+
+    def test_info(self, car_db, capsys):
+        code = main(["info", str(car_db)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "objects:       40" in out
+        assert "vector-set(k=7)" in out
+
+
+class TestExperiment:
+    def test_fig5(self, capsys):
+        code = main(["experiment", "fig5"])
+        assert code == 0
+        assert "reachability" in capsys.readouterr().out

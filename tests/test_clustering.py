@@ -1,0 +1,233 @@
+"""Tests for OPTICS, reachability plots, single-link and quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.hierarchy import single_link_clusters, single_link_dendrogram
+from repro.clustering.optics import (
+    ClusterOrdering,
+    distance_rows_from_function,
+    distance_rows_from_matrix,
+    optics,
+)
+from repro.clustering.quality import (
+    adjusted_rand_index,
+    best_cut_quality,
+    cluster_purity,
+    structure_contrast,
+)
+from repro.clustering.reachability import (
+    cut_levels,
+    extract_clusters,
+    render_reachability_plot,
+)
+from repro.exceptions import ReproError
+
+
+def blobs(rng, centers, n_per=30, scale=0.05, n_noise=8):
+    points = np.vstack(
+        [rng.normal(loc=c, scale=scale, size=(n_per, 2)) for c in centers]
+    )
+    noise = rng.uniform(-1, 2, size=(n_noise, 2))
+    labels = np.concatenate(
+        [
+            np.repeat(np.arange(len(centers)), n_per),
+            -np.arange(1, n_noise + 1),
+        ]
+    )
+    return np.vstack([points, noise]), labels
+
+
+def euclidean_matrix(points):
+    diff = points[:, np.newaxis, :] - points[np.newaxis, :, :]
+    return np.sqrt((diff * diff).sum(axis=2))
+
+
+@pytest.fixture
+def blob_ordering(rng):
+    points, labels = blobs(rng, [(0, 0), (1, 0), (0.5, 1)])
+    matrix = euclidean_matrix(points)
+    return optics(len(points), distance_rows_from_matrix(matrix), min_pts=5), labels, matrix
+
+
+class TestOptics:
+    def test_ordering_is_permutation(self, blob_ordering):
+        ordering, labels, _ = blob_ordering
+        assert sorted(ordering.order) == list(range(len(labels)))
+
+    def test_first_object_has_infinite_reachability(self, blob_ordering):
+        ordering, _, _ = blob_ordering
+        assert np.isinf(ordering.reachability[0])
+
+    def test_clusters_are_contiguous_valleys(self, blob_ordering):
+        ordering, labels, _ = blob_ordering
+        clusters, _ = extract_clusters(ordering, 0.12)
+        assert len(clusters) == 3
+        for members in clusters:
+            # Members of one valley share one ground-truth class.
+            member_labels = [labels[m] for m in members if labels[m] >= 0]
+            assert len(set(member_labels)) == 1
+
+    def test_min_pts_one_chains_everything(self, rng):
+        points, _ = blobs(rng, [(0, 0)], n_per=20, n_noise=0)
+        matrix = euclidean_matrix(points)
+        ordering = optics(len(points), distance_rows_from_matrix(matrix), min_pts=2)
+        # With tiny min_pts every object is density-reachable.
+        assert np.isfinite(ordering.reachability[1:]).all()
+
+    def test_eps_limits_reachability(self, rng):
+        points, _ = blobs(rng, [(0, 0), (5, 5)], n_per=15, n_noise=0)
+        matrix = euclidean_matrix(points)
+        ordering = optics(
+            len(points), distance_rows_from_matrix(matrix), min_pts=3, eps=1.0
+        )
+        # The jump between the two far clusters must be infinite now.
+        assert np.isinf(ordering.reachability).sum() >= 2
+
+    def test_distance_rows_from_function(self, rng):
+        points, _ = blobs(rng, [(0, 0)], n_per=10, n_noise=0)
+        rows_fn = distance_rows_from_function(
+            list(points), lambda a, b: float(np.linalg.norm(a - b))
+        )
+        assert np.allclose(rows_fn(0), np.linalg.norm(points - points[0], axis=1))
+
+    def test_deterministic(self, blob_ordering, rng):
+        ordering, labels, matrix = blob_ordering
+        again = optics(len(labels), distance_rows_from_matrix(matrix), min_pts=5)
+        assert np.array_equal(ordering.order, again.order)
+
+    def test_reachability_of_lookup(self, blob_ordering):
+        ordering, _, _ = blob_ordering
+        position = 10
+        obj = int(ordering.order[position])
+        assert ordering.reachability_of(obj) == ordering.reachability[position]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            optics(0, lambda i: np.zeros(0))
+        with pytest.raises(ReproError):
+            optics(3, lambda i: np.zeros(3), min_pts=0)
+        with pytest.raises(ReproError):
+            optics(3, lambda i: np.zeros(3), eps=-1.0)
+
+    def test_wrong_row_length_rejected(self):
+        with pytest.raises(ReproError):
+            optics(3, lambda i: np.zeros(5))
+
+
+class TestReachabilityPlot:
+    def test_extract_noise_at_tiny_eps(self, blob_ordering):
+        ordering, labels, _ = blob_ordering
+        clusters, noise = extract_clusters(ordering, 1e-9)
+        assert not clusters
+        assert len(noise) == len(labels)
+
+    def test_extract_everything_at_huge_eps(self, blob_ordering):
+        ordering, labels, _ = blob_ordering
+        clusters, noise = extract_clusters(ordering, 1e9)
+        assert len(noise) == 0
+        assert sum(len(c) for c in clusters) == len(labels)
+
+    def test_partition_property(self, blob_ordering):
+        ordering, labels, _ = blob_ordering
+        for eps in (0.05, 0.12, 0.5):
+            clusters, noise = extract_clusters(ordering, eps)
+            members = sorted(m for c in clusters for m in c) + sorted(noise)
+            assert sorted(members) == list(range(len(labels)))
+
+    def test_render_contains_bars_and_title(self, blob_ordering):
+        ordering, _, _ = blob_ordering
+        art = render_reachability_plot(ordering, height=6, title="demo-title")
+        assert "demo-title" in art
+        assert "#" in art and "|" in art
+
+    def test_render_aggregates_wide_orderings(self, blob_ordering):
+        ordering, _, _ = blob_ordering
+        art = render_reachability_plot(ordering, height=5, max_width=40)
+        longest = max(len(line) for line in art.splitlines())
+        assert longest <= 45
+
+    def test_cut_levels_are_sorted_unique(self, blob_ordering):
+        ordering, _, _ = blob_ordering
+        levels = cut_levels(ordering, 10)
+        assert np.all(np.diff(levels) > 0)
+
+    def test_validation(self, blob_ordering):
+        ordering, _, _ = blob_ordering
+        with pytest.raises(ReproError):
+            extract_clusters(ordering, -0.1)
+        with pytest.raises(ReproError):
+            render_reachability_plot(ordering, height=1)
+
+
+class TestSingleLink:
+    def test_dendrogram_has_n_minus_one_merges(self, blob_ordering):
+        _, labels, matrix = blob_ordering
+        merges = single_link_dendrogram(matrix)
+        assert len(merges) == len(labels) - 1
+
+    def test_merges_sorted_by_distance(self, blob_ordering):
+        _, _, matrix = blob_ordering
+        distances = [m.distance for m in single_link_dendrogram(matrix)]
+        assert distances == sorted(distances)
+
+    def test_cut_recovers_blobs(self, blob_ordering):
+        _, labels, matrix = blob_ordering
+        clusters = single_link_clusters(matrix, 0.12)
+        big = [c for c in clusters if len(c) >= 10]
+        assert len(big) == 3
+
+    def test_cut_zero_gives_singletons(self, blob_ordering):
+        _, labels, matrix = blob_ordering
+        clusters = single_link_clusters(matrix, -1.0)
+        assert len(clusters) == len(labels)
+
+    def test_single_object(self):
+        assert single_link_dendrogram(np.zeros((1, 1))) == []
+
+
+class TestQualityMetrics:
+    def test_ari_perfect_and_random(self, rng):
+        labels = np.repeat([0, 1, 2], 20)
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+        shuffled = rng.permutation(labels)
+        assert abs(adjusted_rand_index(labels, shuffled)) < 0.2
+
+    def test_ari_invariant_to_label_names(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [5, 5, 9, 9, 7, 7]
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_ari_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            adjusted_rand_index([0, 1], [0, 1, 2])
+
+    def test_purity_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        assert cluster_purity([[0, 1], [2, 3]], [], labels) == pytest.approx(1.0)
+
+    def test_purity_mixed_cluster(self):
+        labels = np.array([0, 0, 1, 1])
+        assert cluster_purity([[0, 1, 2, 3]], [], labels) == pytest.approx(0.5)
+
+    def test_purity_partition_enforced(self):
+        with pytest.raises(ReproError):
+            cluster_purity([[0]], [], np.array([0, 1]))
+
+    def test_best_cut_finds_good_eps(self, blob_ordering):
+        ordering, labels, _ = blob_ordering
+        ari, eps = best_cut_quality(ordering, labels)
+        assert ari > 0.85
+        assert np.isfinite(eps)
+
+    def test_structure_contrast_orders_plots(self, rng):
+        """Clustered data produces more contrast than uniform data."""
+        clustered, _ = blobs(rng, [(0, 0), (2, 2)], n_per=40, n_noise=0)
+        uniform = rng.uniform(0, 1, size=(80, 2))
+        ordering_c = optics(
+            len(clustered), distance_rows_from_matrix(euclidean_matrix(clustered)), 5
+        )
+        ordering_u = optics(
+            len(uniform), distance_rows_from_matrix(euclidean_matrix(uniform)), 5
+        )
+        assert structure_contrast(ordering_c) > structure_contrast(ordering_u)

@@ -1,0 +1,117 @@
+"""Tests for the from-scratch Kuhn–Munkres implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.matching import (
+    _SCALAR_CUTOFF,
+    _hungarian_own,
+    _hungarian_scalar,
+    assignment_cost,
+    hungarian,
+)
+from repro.exceptions import DistanceError
+
+
+def _optimal_cost(matrix: np.ndarray) -> float:
+    rows, cols = linear_sum_assignment(matrix)
+    return float(matrix[rows, cols].sum())
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 20, 40])
+    def test_random_matrices(self, n, rng):
+        for _ in range(10):
+            matrix = rng.normal(size=(n, n)) * rng.uniform(0.1, 100)
+            assignment = hungarian(matrix)
+            assert sorted(assignment) == list(range(n))  # a permutation
+            assert assignment_cost(matrix, assignment) == pytest.approx(
+                _optimal_cost(matrix)
+            )
+
+    def test_scalar_and_vectorized_agree(self, rng):
+        for n in (2, 5, 9, 17):
+            matrix = rng.normal(size=(n, n))
+            cost_scalar = assignment_cost(matrix, _hungarian_scalar(matrix))
+            cost_vector = assignment_cost(matrix, _hungarian_own(matrix))
+            assert cost_scalar == pytest.approx(cost_vector)
+
+    def test_scipy_backend(self, rng):
+        matrix = rng.normal(size=(6, 6))
+        assert assignment_cost(matrix, hungarian(matrix, backend="scipy")) == pytest.approx(
+            _optimal_cost(matrix)
+        )
+
+    def test_integer_costs_with_many_ties(self, rng):
+        matrix = rng.integers(0, 3, size=(10, 10)).astype(float)
+        assert assignment_cost(matrix, hungarian(matrix)) == pytest.approx(
+            _optimal_cost(matrix)
+        )
+
+    def test_large_matrix_uses_vectorized_path(self, rng):
+        n = _SCALAR_CUTOFF + 5
+        matrix = rng.normal(size=(n, n))
+        assert assignment_cost(matrix, hungarian(matrix)) == pytest.approx(
+            _optimal_cost(matrix)
+        )
+
+
+class TestEdgeCases:
+    def test_identity_is_optimal_on_diagonal_costs(self):
+        matrix = np.full((4, 4), 10.0)
+        np.fill_diagonal(matrix, 0.0)
+        assert list(hungarian(matrix)) == [0, 1, 2, 3]
+
+    def test_anti_diagonal(self):
+        matrix = np.full((3, 3), 5.0)
+        matrix[0, 2] = matrix[1, 1] = matrix[2, 0] = 0.0
+        assert list(hungarian(matrix)) == [2, 1, 0]
+
+    def test_single_element(self):
+        assert list(hungarian(np.array([[3.5]]))) == [0]
+
+    def test_empty_matrix(self):
+        assert len(hungarian(np.empty((0, 0)))) == 0
+
+    def test_negative_costs_fine(self, rng):
+        matrix = rng.normal(size=(7, 7)) - 50
+        assert assignment_cost(matrix, hungarian(matrix)) == pytest.approx(
+            _optimal_cost(matrix)
+        )
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DistanceError):
+            hungarian(np.zeros((2, 3)))
+
+    def test_non_finite_rejected(self):
+        matrix = np.zeros((3, 3))
+        matrix[1, 1] = np.inf
+        with pytest.raises(DistanceError):
+            hungarian(matrix)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(DistanceError):
+            hungarian(np.zeros((2, 2)), backend="magic")
+
+
+@given(
+    st.integers(1, 9).flatmap(
+        lambda n: st.lists(
+            st.lists(st.floats(-100, 100), min_size=n, max_size=n),
+            min_size=n,
+            max_size=n,
+        )
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_hungarian_optimality_property(matrix_rows):
+    """The returned assignment's cost equals scipy's optimum."""
+    matrix = np.asarray(matrix_rows)
+    assignment = hungarian(matrix)
+    assert sorted(assignment) == list(range(len(matrix)))
+    assert assignment_cost(matrix, assignment) == pytest.approx(
+        _optimal_cost(matrix), abs=1e-6
+    )

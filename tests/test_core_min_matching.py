@@ -1,0 +1,165 @@
+"""Tests for the minimal matching distance (Definition 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.min_matching import (
+    euclidean_cross,
+    manhattan_cross,
+    min_matching_distance,
+    min_matching_match,
+    resolve_distance,
+    squared_euclidean_cross,
+    vector_set_distance,
+)
+from repro.core.vector_set import VectorSet
+from repro.exceptions import DistanceError
+
+finite_sets = st.integers(1, 5).flatmap(
+    lambda m: arrays(
+        float, (m, 3), elements=st.floats(-50, 50, allow_nan=False, width=32)
+    )
+)
+
+
+class TestCrossDistances:
+    def test_euclidean_cross_matches_manual(self, rng):
+        x, y = rng.normal(size=(4, 3)), rng.normal(size=(6, 3))
+        cross = euclidean_cross(x, y)
+        assert cross.shape == (4, 6)
+        assert cross[2, 3] == pytest.approx(np.linalg.norm(x[2] - y[3]))
+
+    def test_squared_is_square(self, rng):
+        x, y = rng.normal(size=(3, 2)), rng.normal(size=(3, 2))
+        assert np.allclose(squared_euclidean_cross(x, y), euclidean_cross(x, y) ** 2)
+
+    def test_manhattan(self, rng):
+        x, y = rng.normal(size=(2, 4)), rng.normal(size=(3, 4))
+        assert manhattan_cross(x, y)[1, 2] == pytest.approx(np.abs(x[1] - y[2]).sum())
+
+    def test_resolver(self):
+        assert resolve_distance("euclidean") is euclidean_cross
+        with pytest.raises(DistanceError):
+            resolve_distance("chebyshov")
+
+
+class TestMinMatching:
+    def test_identical_sets_have_zero_distance(self, rng):
+        x = rng.normal(size=(5, 6))
+        assert min_matching_distance(x, x) == pytest.approx(0.0)
+
+    def test_permutation_of_rows_has_zero_distance(self, rng):
+        x = rng.normal(size=(6, 4))
+        shuffled = x[rng.permutation(6)]
+        assert min_matching_distance(x, shuffled) == pytest.approx(0.0)
+
+    def test_symmetry(self, rng):
+        x, y = rng.normal(size=(4, 3)), rng.normal(size=(7, 3))
+        assert min_matching_distance(x, y) == pytest.approx(min_matching_distance(y, x))
+
+    def test_brute_force_equivalence_small(self, rng):
+        """Exhaustively verify Definition 6 on small sets."""
+        from itertools import permutations
+
+        for _ in range(20):
+            m, n = rng.integers(1, 5, size=2)
+            if m < n:
+                m, n = n, m
+            x, y = rng.normal(size=(m, 3)), rng.normal(size=(n, 3))
+            best = np.inf
+            for order in permutations(range(m)):
+                matched = sum(
+                    np.linalg.norm(x[order[i]] - y[i]) for i in range(n)
+                )
+                unmatched = sum(np.linalg.norm(x[order[i]]) for i in range(n, m))
+                best = min(best, matched + unmatched)
+            assert min_matching_distance(x, y) == pytest.approx(best)
+
+    def test_size_mismatch_pays_weight(self):
+        x = np.array([[3.0, 4.0]])  # norm 5
+        y = np.array([[3.0, 4.0], [6.0, 8.0]])  # second element norm 10
+        # Optimal: match identical pair, pay ||(6,8)|| = 10.
+        assert min_matching_distance(x, y) == pytest.approx(10.0)
+
+    def test_custom_weight_function(self):
+        x = np.array([[1.0, 0.0]])
+        y = np.array([[1.0, 0.0], [9.0, 0.0]])
+        flat = min_matching_distance(x, y, weight=lambda arr: np.full(len(arr), 2.5))
+        assert flat == pytest.approx(2.5)
+
+    def test_match_result_reports_pairs(self, rng):
+        x = rng.normal(size=(3, 2))
+        result = min_matching_match(x, x)
+        assert result.is_identity
+        assert len(result.pairs) == 3
+        assert len(result.unmatched) == 0
+
+    def test_match_result_non_identity(self):
+        x = np.array([[0.0, 0.0], [10.0, 0.0]])
+        y = np.array([[10.0, 0.0], [0.0, 0.0]])  # swapped order
+        result = min_matching_match(x, y)
+        assert not result.is_identity
+        assert result.distance == pytest.approx(0.0)
+
+    def test_unmatched_indices_point_into_larger_set(self, rng):
+        x = rng.normal(size=(5, 3))
+        y = rng.normal(size=(2, 3))
+        result = min_matching_match(x, y)
+        assert len(result.unmatched) == 3
+        assert set(result.unmatched) <= set(range(5))
+
+    def test_vector_set_wrapper(self, rng):
+        x = VectorSet(rng.normal(size=(3, 6)), capacity=7)
+        y = VectorSet(rng.normal(size=(5, 6)), capacity=7)
+        assert vector_set_distance(x, y) == pytest.approx(
+            min_matching_distance(x.vectors, y.vectors)
+        )
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(DistanceError):
+            min_matching_distance(rng.normal(size=(2, 3)), rng.normal(size=(2, 4)))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(DistanceError):
+            min_matching_distance(np.empty((0, 3)), np.zeros((1, 3)))
+
+    def test_backends_agree(self, rng):
+        for _ in range(20):
+            x = rng.normal(size=(rng.integers(1, 8), 5))
+            y = rng.normal(size=(rng.integers(1, 8), 5))
+            assert min_matching_distance(x, y, backend="own") == pytest.approx(
+                min_matching_distance(x, y, backend="scipy")
+            )
+
+
+class TestMetricAxioms:
+    """Lemma 1: with Euclidean distance and norm weights the minimal
+    matching distance is a metric."""
+
+    @given(finite_sets, finite_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_property(self, x, y):
+        assert min_matching_distance(x, y) == pytest.approx(
+            min_matching_distance(y, x), abs=1e-6
+        )
+
+    @given(finite_sets, finite_sets, finite_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality_property(self, x, y, z):
+        dxy = min_matching_distance(x, y)
+        dxz = min_matching_distance(x, z)
+        dzy = min_matching_distance(z, y)
+        assert dxy <= dxz + dzy + 1e-6
+
+    @given(finite_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_identity_property(self, x):
+        assert min_matching_distance(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    @given(finite_sets, finite_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_non_negativity_property(self, x, y):
+        assert min_matching_distance(x, y) >= 0.0

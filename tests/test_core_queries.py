@@ -1,0 +1,122 @@
+"""Tests for filter-and-refine query processing."""
+
+import numpy as np
+import pytest
+
+from repro.core.min_matching import min_matching_distance
+from repro.core.queries import FilterRefineEngine, QueryMatch
+from repro.core.vector_set import VectorSet
+from repro.exceptions import DistanceError, QueryError
+from tests.conftest import random_vector_sets
+
+
+@pytest.fixture
+def engine(rng):
+    sets = random_vector_sets(rng, 120, dim=6, max_size=7)
+    return FilterRefineEngine(sets, capacity=7), sets
+
+
+class TestKnn:
+    def test_filter_equals_sequential(self, engine, rng):
+        eng, sets = engine
+        for _ in range(5):
+            query = rng.normal(size=(rng.integers(1, 8), 6))
+            filtered, _ = eng.knn_query(query, 7)
+            sequential, _ = eng.knn_sequential(query, 7)
+            assert [m.object_id for m in filtered] == [m.object_id for m in sequential]
+            assert [m.distance for m in filtered] == pytest.approx(
+                [m.distance for m in sequential]
+            )
+
+    def test_knn_distances_sorted(self, engine, rng):
+        eng, _ = engine
+        results, _ = eng.knn_query(rng.normal(size=(3, 6)), 10)
+        distances = [m.distance for m in results]
+        assert distances == sorted(distances)
+
+    def test_self_query_returns_self_first(self, engine):
+        eng, sets = engine
+        results, _ = eng.knn_query(sets[42], 1)
+        assert results[0].object_id == 42
+        assert results[0].distance == pytest.approx(0.0)
+
+    def test_pruning_happens(self, rng):
+        """Clustered data must let the centroid filter skip refinements."""
+        # Two well-separated clusters of sets.
+        cluster_a = [rng.normal(size=(3, 6)) * 0.1 for _ in range(50)]
+        cluster_b = [rng.normal(size=(3, 6)) * 0.1 + 100.0 for _ in range(50)]
+        eng = FilterRefineEngine(cluster_a + cluster_b, capacity=7)
+        _, stats = eng.knn_query(cluster_a[0], 5)
+        assert stats.exact_computations < 100
+        assert stats.pruned > 0
+
+    def test_k_larger_than_database(self, engine, rng):
+        eng, sets = engine
+        results, _ = eng.knn_query(rng.normal(size=(2, 6)), len(sets) + 50)
+        assert len(results) == len(sets)
+
+    def test_invalid_k_rejected(self, engine, rng):
+        eng, _ = engine
+        with pytest.raises(QueryError):
+            eng.knn_query(rng.normal(size=(2, 6)), 0)
+
+
+class TestRange:
+    def test_range_results_complete_and_correct(self, engine, rng):
+        eng, sets = engine
+        query = rng.normal(size=(4, 6))
+        epsilon = 4.0
+        results, _ = eng.range_query(query, epsilon)
+        brute = {
+            i
+            for i, s in enumerate(sets)
+            if min_matching_distance(query, s) <= epsilon
+        }
+        assert {m.object_id for m in results} == brute
+
+    def test_zero_epsilon_finds_exact_copy(self, engine):
+        eng, sets = engine
+        results, _ = eng.range_query(sets[7], 1e-9)
+        assert 7 in {m.object_id for m in results}
+
+    def test_negative_epsilon_rejected(self, engine, rng):
+        eng, _ = engine
+        with pytest.raises(QueryError):
+            eng.range_query(rng.normal(size=(2, 6)), -1.0)
+
+
+class TestConstruction:
+    def test_empty_database_rejected(self):
+        with pytest.raises(QueryError):
+            FilterRefineEngine([], capacity=7)
+
+    def test_oversized_set_rejected(self, rng):
+        with pytest.raises(QueryError):
+            FilterRefineEngine([rng.normal(size=(9, 6))], capacity=7)
+
+    def test_inconsistent_dimensions_rejected(self, rng):
+        with pytest.raises(QueryError):
+            FilterRefineEngine(
+                [rng.normal(size=(2, 6)), rng.normal(size=(2, 5))], capacity=7
+            )
+
+    def test_vector_set_inputs(self, rng):
+        sets = [VectorSet(rng.normal(size=(3, 6)), capacity=7) for _ in range(10)]
+        eng = FilterRefineEngine(sets, capacity=7)
+        results, _ = eng.knn_query(sets[0], 3)
+        assert results[0].object_id == 0
+
+    def test_custom_ranker_is_used(self, engine, rng):
+        """A ranker that yields in ascending centroid order must give the
+        same results as the built-in scan."""
+        eng, sets = engine
+        query = rng.normal(size=(3, 6))
+
+        def ranker(center):
+            dists = np.linalg.norm(eng.centroids - center, axis=1)
+            for i in np.argsort(dists):
+                yield int(i), float(dists[i])
+
+        with_ranker, _ = eng.knn_query(query, 5, centroid_ranker=ranker)
+        without, _ = eng.knn_query(query, 5)
+        assert [m.object_id for m in with_ranker] == [m.object_id for m in without]

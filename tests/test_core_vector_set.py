@@ -1,0 +1,65 @@
+"""Tests for the VectorSet value type."""
+
+import numpy as np
+import pytest
+
+from repro.core.vector_set import VectorSet
+from repro.exceptions import DistanceError
+
+
+class TestVectorSet:
+    def test_basic_properties(self, rng):
+        vs = VectorSet(rng.normal(size=(4, 6)), capacity=7)
+        assert vs.size == len(vs) == 4
+        assert vs.dimension == 6
+        assert vs.capacity == 7
+
+    def test_immutability(self, rng):
+        vs = VectorSet(rng.normal(size=(2, 3)), capacity=5)
+        with pytest.raises(ValueError):
+            vs.vectors[0, 0] = 99.0
+
+    def test_source_array_is_copied(self):
+        source = np.zeros((2, 3))
+        vs = VectorSet(source, capacity=4)
+        source[0, 0] = 42.0
+        assert vs.vectors[0, 0] == 0.0
+
+    def test_nbytes_without_padding(self, rng):
+        vs = VectorSet(rng.normal(size=(3, 6)), capacity=7)
+        assert vs.nbytes() == 3 * 6 * 8  # not 7 * 6 * 8 (Section 4.1)
+
+    def test_padded_fills_with_zeros(self, rng):
+        vs = VectorSet(rng.normal(size=(2, 6)), capacity=5)
+        padded = vs.padded()
+        assert padded.shape == (5, 6)
+        assert np.allclose(padded[2:], 0.0)
+        assert np.allclose(padded[:2], vs.vectors)
+
+    def test_padded_custom_fill(self, rng):
+        vs = VectorSet(rng.normal(size=(1, 3)), capacity=3)
+        fill = np.array([1.0, 2.0, 3.0])
+        padded = vs.padded(fill)
+        assert np.allclose(padded[1], fill)
+
+    def test_iteration(self, rng):
+        data = rng.normal(size=(3, 2))
+        vs = VectorSet(data, capacity=3)
+        assert len(list(vs)) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistanceError):
+            VectorSet(np.empty((0, 6)), capacity=7)
+
+    def test_over_capacity_rejected(self, rng):
+        with pytest.raises(DistanceError):
+            VectorSet(rng.normal(size=(8, 6)), capacity=7)
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(DistanceError):
+            VectorSet(rng.normal(size=6), capacity=7)
+
+    def test_wrong_fill_dimension_rejected(self, rng):
+        vs = VectorSet(rng.normal(size=(2, 6)), capacity=4)
+        with pytest.raises(DistanceError):
+            vs.padded(np.zeros(5))

@@ -1,0 +1,134 @@
+"""Tests for the synthetic CAD datasets and part families."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.aircraft import AIRCRAFT_CLASSES, default_aircraft_size, make_aircraft_dataset
+from repro.datasets.car import CAR_CLASSES, make_car_dataset
+from repro.datasets.parts import (
+    PART_FAMILIES,
+    CADPart,
+    make_noise_part,
+    make_part,
+    random_placement,
+)
+from repro.exceptions import DatasetError
+from repro.voxel.voxelize import voxelize_solid
+
+
+class TestPartFamilies:
+    @pytest.mark.parametrize("family", sorted(PART_FAMILIES))
+    def test_every_family_voxelizes_nonempty(self, family, rng):
+        for _ in range(3):
+            part = make_part(family, rng)
+            grid = voxelize_solid(part.solid, resolution=15)
+            assert grid.count > 0, family
+
+    @pytest.mark.parametrize("family", sorted(PART_FAMILIES))
+    def test_intra_family_variation_exists(self, family, rng):
+        """Draws of a family differ (parameter jitter works).  Highly
+        symmetric or slender parts can voxelize identically at coarse
+        rasters (normalization removes absolute scale), so compare
+        several draws at r=30."""
+        grids = {
+            voxelize_solid(
+                make_part(family, rng, place=False).solid, resolution=30
+            ).occupancy.tobytes()
+            for _ in range(6)
+        }
+        assert len(grids) > 1
+
+    def test_unknown_family_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            make_part("warp-drive", rng)
+
+    def test_noise_parts_vary(self, rng):
+        solids = [make_noise_part(rng) for _ in range(5)]
+        grids = [voxelize_solid(s, resolution=10).occupancy.tobytes() for s in solids]
+        assert len(set(grids)) == 5
+
+    def test_random_placement_is_rigid(self, rng):
+        transform = random_placement(rng)
+        # Signed permutation times optional mirror: orthogonal matrix.
+        assert np.allclose(transform.matrix @ transform.matrix.T, np.eye(3))
+
+
+class TestCarDataset:
+    def test_default_size_and_composition(self):
+        parts, labels = make_car_dataset()
+        assert len(parts) == sum(CAR_CLASSES.values()) + 16 == 200
+        assert len(labels) == len(parts)
+        families = {p.family for p in parts}
+        assert families >= set(CAR_CLASSES) | {"noise"}
+
+    def test_labels_match_parts(self):
+        parts, labels = make_car_dataset()
+        for part, label in zip(parts, labels):
+            assert part.class_id == label
+            if part.family == "noise":
+                assert label < 0
+            else:
+                assert label >= 0
+
+    def test_noise_labels_unique(self):
+        _, labels = make_car_dataset()
+        noise = labels[labels < 0]
+        assert len(noise) == len(set(noise))
+
+    def test_reproducible(self):
+        a, _ = make_car_dataset(seed=7)
+        b, _ = make_car_dataset(seed=7)
+        ga = voxelize_solid(a[3].solid, 12)
+        gb = voxelize_solid(b[3].solid, 12)
+        assert np.array_equal(ga.occupancy, gb.occupancy)
+
+    def test_seeds_differ(self):
+        a, _ = make_car_dataset(seed=1)
+        b, _ = make_car_dataset(seed=2)
+        ga = voxelize_solid(a[3].solid, 12)
+        gb = voxelize_solid(b[3].solid, 12)
+        assert not np.array_equal(ga.occupancy, gb.occupancy)
+
+    def test_custom_composition(self):
+        parts, labels = make_car_dataset(class_counts={"tire": 5}, n_noise=2)
+        assert len(parts) == 7
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            make_car_dataset(class_counts={"tire": -1})
+        with pytest.raises(DatasetError):
+            make_car_dataset(n_noise=-1)
+
+
+class TestAircraftDataset:
+    def test_size_parameter(self):
+        parts, labels = make_aircraft_dataset(n=50)
+        assert len(parts) == len(labels) == 50
+
+    def test_small_parts_dominate(self):
+        parts, _ = make_aircraft_dataset(n=400)
+        small = sum(p.family in ("nut", "bolt", "rivet", "washer") for p in parts)
+        large = sum(p.family in ("wing", "spar", "panel") for p in parts)
+        assert small > 3 * large  # the paper's size skew
+
+    def test_env_variable_controls_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AIRCRAFT_N", "123")
+        assert default_aircraft_size() == 123
+
+    def test_env_variable_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AIRCRAFT_N", "bogus")
+        with pytest.raises(DatasetError):
+            default_aircraft_size()
+        monkeypatch.setenv("REPRO_AIRCRAFT_N", "-5")
+        with pytest.raises(DatasetError):
+            default_aircraft_size()
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(DatasetError):
+            make_aircraft_dataset(n=0)
+
+    def test_reproducible(self):
+        a, la = make_aircraft_dataset(n=30, seed=3)
+        b, lb = make_aircraft_dataset(n=30, seed=3)
+        assert np.array_equal(la, lb)
+        assert [p.family for p in a] == [p.family for p in b]

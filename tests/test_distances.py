@@ -1,0 +1,170 @@
+"""Tests for the L_p family and the Eiter–Mannila set distances."""
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.core.min_matching import min_matching_distance
+from repro.distances.lp import euclidean, lp_distance, manhattan, maximum_distance
+from repro.distances.netflow import netflow_distance
+from repro.distances.set_distances import (
+    fair_surjection_distance,
+    hausdorff_distance,
+    link_distance,
+    sum_of_minimum_distances,
+    surjection_distance,
+)
+from repro.exceptions import DistanceError
+
+
+class TestLp:
+    def test_known_values(self):
+        x, y = np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        assert euclidean(x, y) == pytest.approx(5.0)
+        assert manhattan(x, y) == pytest.approx(7.0)
+        assert maximum_distance(x, y) == pytest.approx(4.0)
+
+    def test_p_three(self):
+        assert lp_distance(np.zeros(2), np.array([1.0, 1.0]), 3) == pytest.approx(
+            2 ** (1 / 3)
+        )
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(DistanceError):
+            lp_distance(np.zeros(2), np.ones(2), 0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DistanceError):
+            euclidean(np.zeros(2), np.zeros(3))
+
+
+def brute_surjection(x, y):
+    m, n = len(x), len(y)
+    if m < n:
+        x, y, m, n = y, x, n, m
+    best = np.inf
+    for mapping in product(range(n), repeat=m):
+        if set(mapping) == set(range(n)):
+            best = min(
+                best, sum(np.linalg.norm(x[i] - y[mapping[i]]) for i in range(m))
+            )
+    return best
+
+
+class TestHausdorffAndSmd:
+    def test_hausdorff_symmetric(self, rng):
+        x, y = rng.normal(size=(4, 2)), rng.normal(size=(6, 2))
+        assert hausdorff_distance(x, y) == pytest.approx(hausdorff_distance(y, x))
+
+    def test_hausdorff_dominated_by_outlier(self):
+        """The paper's complaint: one extreme element dominates."""
+        x = np.array([[0.0, 0.0], [100.0, 0.0]])
+        y = np.array([[0.0, 0.0]])
+        assert hausdorff_distance(x, y) == pytest.approx(100.0)
+        # The matching distance spreads the cost instead.
+        assert min_matching_distance(x, y) == pytest.approx(100.0)
+        # ...but for *near* matches Hausdorff ignores everything else:
+        x2 = np.array([[0.0, 0.1], [1.0, 0.2], [2.0, 0.3]])
+        y2 = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        assert hausdorff_distance(x2, y2) == pytest.approx(0.3)
+
+    def test_smd_identical_sets_zero(self, rng):
+        x = rng.normal(size=(5, 3))
+        assert sum_of_minimum_distances(x, x) == pytest.approx(0.0)
+
+    def test_smd_is_not_a_metric(self):
+        """The triangle inequality fails for the sum of minimum
+        distances (the reason the paper rejects it, Section 4.2); a
+        seeded search reliably finds a violating triple."""
+        rng = np.random.default_rng(5)
+        for _ in range(2000):
+            a = rng.normal(size=(2, 1))
+            b = rng.normal(size=(2, 1))
+            c = rng.normal(size=(2, 1))
+            via = sum_of_minimum_distances(a, c) + sum_of_minimum_distances(c, b)
+            if sum_of_minimum_distances(a, b) > via + 1e-9:
+                return  # violation found: not a metric
+        pytest.fail("no triangle-inequality violation found for SMD")
+
+
+class TestSurjections:
+    def test_matches_brute_force(self, rng):
+        for _ in range(15):
+            m, n = rng.integers(1, 4, size=2)
+            x, y = rng.normal(size=(m, 2)), rng.normal(size=(n, 2))
+            assert surjection_distance(x, y) == pytest.approx(brute_surjection(x, y))
+
+    def test_equal_sizes_equal_matching(self, rng):
+        """For equal cardinalities a surjection is a bijection, so the
+        surjection distance equals the matching distance."""
+        x, y = rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+        assert surjection_distance(x, y) == pytest.approx(
+            min_matching_distance(x, y, weight=lambda a: np.zeros(len(a)))
+        )
+
+    def test_fair_surjection_at_least_surjection(self, rng):
+        """Fairness is a constraint, so the fair optimum can't be better."""
+        for _ in range(10):
+            x = rng.normal(size=(5, 2))
+            y = rng.normal(size=(2, 2))
+            assert (
+                fair_surjection_distance(x, y) >= surjection_distance(x, y) - 1e-9
+            )
+
+    def test_fair_surjection_balances(self):
+        """4 elements onto 2 targets: fair forces a 2+2 split even when
+        3+1 would be cheaper."""
+        x = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([[0.0], [10.0]])
+        unfair = surjection_distance(x, y)  # 3 onto 0.0, 1 onto 10.0
+        fair = fair_surjection_distance(x, y)
+        assert fair > unfair
+
+    def test_symmetric_in_argument_order(self, rng):
+        x, y = rng.normal(size=(5, 2)), rng.normal(size=(3, 2))
+        assert surjection_distance(x, y) == pytest.approx(surjection_distance(y, x))
+
+
+class TestLinkDistance:
+    def test_identical_sets(self, rng):
+        x = rng.normal(size=(4, 2))
+        assert link_distance(x, x) == pytest.approx(0.0)
+
+    def test_singleton_to_set_links_everything(self):
+        x = np.array([[0.0, 0.0]])
+        y = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 0.0]])
+        # Every y must link to the single x.
+        assert link_distance(x, y) == pytest.approx(1.0 + 2.0 + 3.0)
+
+    def test_never_exceeds_matching_for_equal_sizes(self, rng):
+        """A perfect matching is a valid edge cover, so the optimal
+        cover can only be cheaper."""
+        for _ in range(10):
+            x, y = rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+            matching = min_matching_distance(x, y, weight=lambda a: np.zeros(len(a)))
+            assert link_distance(x, y) <= matching + 1e-9
+
+
+class TestNetflow:
+    def test_unit_multiplicities_equal_matching(self, rng):
+        x, y = rng.normal(size=(4, 3)), rng.normal(size=(2, 3))
+        assert netflow_distance(x, y) == pytest.approx(min_matching_distance(x, y))
+
+    def test_multiplicities_equal_explicit_expansion(self, rng):
+        x = rng.normal(size=(2, 3))
+        y = rng.normal(size=(3, 3))
+        expanded = netflow_distance(
+            x, y, multiplicities_x=np.array([2, 3]), multiplicities_y=np.array([1, 1, 1])
+        )
+        manual = min_matching_distance(np.repeat(x, [2, 3], axis=0), y)
+        assert expanded == pytest.approx(manual)
+
+    def test_invalid_multiplicities_rejected(self, rng):
+        x = rng.normal(size=(2, 3))
+        with pytest.raises(DistanceError):
+            netflow_distance(x, x, multiplicities_x=np.array([0, 1]))
+        with pytest.raises(DistanceError):
+            netflow_distance(x, x, multiplicities_x=np.array([1.5, 1.0]))
+        with pytest.raises(DistanceError):
+            netflow_distance(x, x, multiplicities_x=np.array([1]))

@@ -1,0 +1,132 @@
+"""Tests for the histogram feature models (volume and solid-angle)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features.base import cell_counts, cell_index_of_voxels, check_partition
+from repro.features.solid_angle import SolidAngleModel, solid_angle_values
+from repro.features.volume import VolumeModel
+from repro.geometry.sdf import Box, Sphere
+from repro.voxel.grid import VoxelGrid
+from repro.voxel.voxelize import voxelize_solid
+
+
+class TestPartitioning:
+    def test_divisibility_enforced(self):
+        with pytest.raises(FeatureError):
+            check_partition(15, 4)  # 15 / 4 not integral
+        assert check_partition(15, 5) == 3
+
+    def test_cell_counts_sum_to_voxel_count(self, tire_grid):
+        counts = cell_counts(tire_grid, 5)
+        assert counts.sum() == tire_grid.count
+        assert counts.shape == (125,)
+
+    def test_cell_counts_full_grid(self):
+        grid = VoxelGrid.full(6)
+        assert np.all(cell_counts(grid, 3) == 8)  # 2^3 voxels per cell
+
+    def test_cell_index_mapping_consistent_with_counts(self, tire_grid):
+        idx = tire_grid.indices()
+        cells = cell_index_of_voxels(idx, tire_grid.resolution, 5)
+        manual = np.bincount(cells, minlength=125)
+        assert np.array_equal(manual, cell_counts(tire_grid, 5))
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(FeatureError):
+            check_partition(12, 0)
+
+
+class TestVolumeModel:
+    def test_range_zero_one(self, tire_grid):
+        features = VolumeModel(5).extract(tire_grid)
+        assert np.all(features >= 0.0) and np.all(features <= 1.0)
+
+    def test_full_grid_is_all_ones(self):
+        assert np.allclose(VolumeModel(3).extract(VoxelGrid.full(6)), 1.0)
+
+    def test_empty_cells_are_zero(self):
+        grid = VoxelGrid.empty(6)
+        grid.occupancy[0, 0, 0] = True
+        features = VolumeModel(3).extract(grid)
+        assert features[0] == pytest.approx(1 / 8)
+        assert np.count_nonzero(features) == 1
+
+    def test_dimension(self):
+        assert VolumeModel(5).dimension(15) == 125
+
+    def test_identical_objects_identical_features(self, tire_grid):
+        a = VolumeModel(5).extract(tire_grid)
+        b = VolumeModel(5).extract(tire_grid.copy())
+        assert np.array_equal(a, b)
+
+    def test_more_partitions_more_detail(self):
+        """Two objects with equal total volume but different layout are
+        indistinguishable at p=1 and distinguishable at higher p."""
+        left = VoxelGrid.empty(8)
+        left.occupancy[0:4, :, :] = True
+        right = VoxelGrid.empty(8)
+        right.occupancy[4:8, :, :] = True
+        coarse = VolumeModel(1)
+        fine = VolumeModel(2)
+        assert np.allclose(coarse.extract(left), coarse.extract(right))
+        assert not np.allclose(fine.extract(left), fine.extract(right))
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            VolumeModel(0)
+
+
+class TestSolidAngle:
+    def test_sphere_surface_values_near_half(self, sphere_grid):
+        """On a locally flat/spherical surface roughly half the kernel
+        ball is filled."""
+        values = solid_angle_values(sphere_grid, 2)
+        assert 0.3 < values.mean() < 0.7
+
+    def test_convex_corner_is_small(self):
+        grid = voxelize_solid(Box(size=(1.0, 1.0, 1.0)), resolution=12)
+        values = solid_angle_values(grid, 2)
+        surface = grid.surface_indices()
+        lower, upper = grid.bounding_box()
+        # The eight box corners are maximally convex: smallest SA values.
+        corner_mask = np.all((surface == lower) | (surface == upper), axis=1)
+        assert corner_mask.any()
+        assert values[corner_mask].mean() < values.mean()
+
+    def test_concave_notch_is_large(self):
+        solid = Box(size=(2.0, 2.0, 2.0)) - Box(center=(0.0, 0.0, 1.0), size=(0.7, 0.7, 1.0))
+        grid = voxelize_solid(solid, resolution=16)
+        values = solid_angle_values(grid, 2)
+        # Concave areas push the maximum above the convex-mean.
+        assert values.max() > 0.6
+
+    def test_feature_rules(self, sphere_grid):
+        """Cells: mean SA where surface, 1.0 where interior-only, 0 where
+        empty (the three rules of Section 3.3.2)."""
+        model = SolidAngleModel(partitions=5, kernel_radius=2)
+        features = model.extract(sphere_grid)
+        assert features.shape == (125,)
+        # Center cell of a filled ball is interior-only -> exactly 1.
+        center_cell = 2 * 25 + 2 * 5 + 2
+        assert features[center_cell] == pytest.approx(1.0)
+        # Corner cells are empty -> exactly 0.
+        assert features[0] == 0.0
+        # Surface cells carry averages strictly between 0 and 1.
+        surface_values = features[(features > 0) & (features < 1)]
+        assert len(surface_values) > 0
+
+    def test_kernel_too_large_rejected(self, sphere_grid):
+        with pytest.raises(FeatureError):
+            SolidAngleModel(partitions=5, kernel_radius=8).extract(sphere_grid)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SolidAngleModel(partitions=0)
+        with pytest.raises(ValueError):
+            SolidAngleModel(kernel_radius=0)
+
+    def test_names(self):
+        assert "volume" in VolumeModel(3).name
+        assert "solid-angle" in SolidAngleModel(3, 2).name

@@ -1,0 +1,58 @@
+"""Tests for the vector set model (the paper's contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.min_matching import min_matching_distance
+from repro.features.cover_sequence import CoverSequenceModel
+from repro.features.vector_set_model import VectorSetModel
+from repro.geometry.sdf import Box
+from repro.voxel.voxelize import voxelize_solid
+
+
+class TestVectorSetModel:
+    def test_no_dummy_padding(self, lshape_grid):
+        """The key storage property of Section 4.1: short sequences stay
+        short."""
+        rows = VectorSetModel(k=7).extract(lshape_grid)
+        assert rows.shape == (2, 6)
+
+    def test_rows_match_cover_model_blocks(self, tire_grid):
+        """The vector set contains exactly the cover model's 6-d blocks."""
+        rows = VectorSetModel(k=7).extract(tire_grid)
+        flat = CoverSequenceModel(k=7).extract(tire_grid).reshape(7, 6)
+        assert np.allclose(flat[: len(rows)], rows)
+        assert np.allclose(flat[len(rows) :], 0.0)
+
+    def test_cardinality_bounded_by_k(self, tire_grid):
+        for k in (1, 3, 5, 7):
+            rows = VectorSetModel(k=k).extract(tire_grid)
+            assert 1 <= len(rows) <= k
+
+    def test_element_dimension_is_six(self, tire_grid):
+        model = VectorSetModel(k=7)
+        assert model.dimension(15) == 6
+        assert model.extract(tire_grid).shape[1] == 6
+
+    def test_identical_shapes_zero_distance(self, tire_grid):
+        a = VectorSetModel(k=7).extract(tire_grid)
+        b = VectorSetModel(k=7).extract(tire_grid.copy())
+        assert min_matching_distance(a, b) == pytest.approx(0.0)
+
+    def test_similar_shapes_closer_than_different(self):
+        """Two slightly different plates are closer to each other than to
+        a cube — the metric sanity the clustering relies on."""
+        model = VectorSetModel(k=7)
+        plate_a = model.extract(voxelize_solid(Box(size=(2.0, 1.0, 0.2)), 15))
+        plate_b = model.extract(voxelize_solid(Box(size=(2.1, 0.95, 0.22)), 15))
+        cube = model.extract(voxelize_solid(Box(size=(1.0, 1.0, 1.0)), 15))
+        close = min_matching_distance(plate_a, plate_b)
+        far = min_matching_distance(plate_a, cube)
+        assert close < far
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            VectorSetModel(k=0)
+
+    def test_name_mentions_k(self):
+        assert "7" in VectorSetModel(k=7).name

@@ -1,0 +1,175 @@
+"""Tests for the analytic solids (membership predicates and bounds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry.sdf import (
+    Box,
+    Capsule,
+    Cone,
+    Cylinder,
+    Difference,
+    Ellipsoid,
+    Intersection,
+    Sphere,
+    Torus,
+    Transformed,
+    Union,
+    union_all,
+)
+from repro.geometry.transform import Transform
+
+ALL_SOLIDS = [
+    Box(size=(1.0, 2.0, 0.5)),
+    Sphere(radius=0.8),
+    Ellipsoid(radii=(0.5, 1.0, 0.25)),
+    Cylinder(radius=0.5, height=1.5),
+    Cylinder(radius=0.5, height=1.5, inner_radius=0.2),
+    Capsule(radius=0.3, height=1.0),
+    Cone(radius=0.6, height=1.2),
+    Torus(major_radius=1.0, minor_radius=0.3),
+]
+
+
+class TestMembershipBasics:
+    @pytest.mark.parametrize("solid", ALL_SOLIDS, ids=lambda s: type(s).__name__)
+    def test_center_of_bounds_consistency(self, solid, rng):
+        """Random points far outside the bounds must never be inside."""
+        lower, upper = solid.bounds()
+        outside = rng.uniform(10.0, 20.0, size=(50, 3))
+        assert not solid.contains(outside).any()
+
+    @pytest.mark.parametrize("solid", ALL_SOLIDS, ids=lambda s: type(s).__name__)
+    def test_bounds_contain_all_members(self, solid, rng):
+        """Every point classified inside must lie within the bounds."""
+        lower, upper = solid.bounds()
+        pts = rng.uniform(lower - 0.5, upper + 0.5, size=(2000, 3))
+        inside = pts[solid.contains(pts)]
+        assert np.all(inside >= lower - 1e-9) and np.all(inside <= upper + 1e-9)
+
+    def test_box_corner_inclusive(self):
+        box = Box(size=(2.0, 2.0, 2.0))
+        assert box.contains(np.array([[1.0, 1.0, 1.0]]))[0]
+
+    def test_sphere_boundary_inclusive(self):
+        assert Sphere(radius=1.0).contains(np.array([[1.0, 0.0, 0.0]]))[0]
+
+    def test_tube_excludes_inner_hole(self):
+        tube = Cylinder(radius=1.0, height=2.0, inner_radius=0.5)
+        assert not tube.contains(np.array([[0.0, 0.0, 0.0]]))[0]
+        assert tube.contains(np.array([[0.75, 0.0, 0.0]]))[0]
+
+    def test_cone_narrows_toward_apex(self):
+        cone = Cone(radius=1.0, height=2.0)
+        base_ring = np.array([[0.9, 0.0, -0.9]])
+        near_apex = np.array([[0.9, 0.0, 0.9]])
+        assert cone.contains(base_ring)[0]
+        assert not cone.contains(near_apex)[0]
+
+    def test_capsule_caps_extend_past_cylinder(self):
+        capsule = Capsule(radius=0.5, height=1.0)
+        assert capsule.contains(np.array([[0.0, 0.0, 0.9]]))[0]  # inside cap
+        assert not capsule.contains(np.array([[0.0, 0.0, 1.01]]))[0]
+
+    def test_torus_hole(self):
+        torus = Torus(major_radius=1.0, minor_radius=0.3)
+        assert not torus.contains(np.array([[0.0, 0.0, 0.0]]))[0]
+        assert torus.contains(np.array([[1.0, 0.0, 0.0]]))[0]
+
+    def test_single_point_shape(self):
+        assert Sphere(radius=1.0).contains(np.array([0.0, 0.0, 0.0])).shape == (1,)
+
+
+class TestValidation:
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(GeometryError):
+            Box(size=(1.0, -1.0, 1.0))
+        with pytest.raises(GeometryError):
+            Sphere(radius=0.0)
+        with pytest.raises(GeometryError):
+            Cylinder(radius=1.0, height=-2.0)
+
+    def test_inner_radius_bounds(self):
+        with pytest.raises(GeometryError):
+            Cylinder(radius=0.5, inner_radius=0.5)
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(GeometryError):
+            Cylinder(axis="q")
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            union_all([])
+
+
+class TestComposition:
+    def test_union_is_or(self, rng):
+        a, b = Sphere(center=(-0.5, 0, 0), radius=0.5), Sphere(center=(0.5, 0, 0), radius=0.5)
+        pts = rng.uniform(-1.2, 1.2, size=(500, 3))
+        assert np.array_equal((a | b).contains(pts), a.contains(pts) | b.contains(pts))
+
+    def test_intersection_is_and(self, rng):
+        a, b = Sphere(radius=0.8), Box(size=(1.0, 1.0, 1.0))
+        pts = rng.uniform(-1.0, 1.0, size=(500, 3))
+        assert np.array_equal((a & b).contains(pts), a.contains(pts) & b.contains(pts))
+
+    def test_difference_is_andnot(self, rng):
+        a, b = Box(size=(2.0, 2.0, 2.0)), Sphere(radius=0.7)
+        pts = rng.uniform(-1.2, 1.2, size=(500, 3))
+        assert np.array_equal((a - b).contains(pts), a.contains(pts) & ~b.contains(pts))
+
+    def test_operators_return_composite_types(self):
+        a, b = Sphere(radius=1.0), Box()
+        assert isinstance(a | b, Union)
+        assert isinstance(a & b, Intersection)
+        assert isinstance(a - b, Difference)
+
+    def test_intersection_bounds_shrink(self):
+        a = Box(center=(0, 0, 0), size=(2, 2, 2))
+        b = Box(center=(1, 0, 0), size=(2, 2, 2))
+        lo, hi = (a & b).bounds()
+        assert lo[0] == pytest.approx(0.0)
+        assert hi[0] == pytest.approx(1.0)
+
+
+class TestTransformed:
+    def test_translation_moves_membership(self):
+        moved = Sphere(radius=0.5).translated([2.0, 0.0, 0.0])
+        assert moved.contains(np.array([[2.0, 0.0, 0.0]]))[0]
+        assert not moved.contains(np.array([[0.0, 0.0, 0.0]]))[0]
+
+    def test_rotation_moves_membership(self):
+        rod = Cylinder(radius=0.1, height=2.0, axis="z").rotated("y", np.pi / 2)
+        assert rod.contains(np.array([[0.9, 0.0, 0.0]]))[0]
+        assert not rod.contains(np.array([[0.0, 0.0, 0.9]]))[0]
+
+    def test_bounds_cover_transformed_solid(self, rng):
+        solid = Box(size=(2.0, 0.5, 0.3)).rotated(np.array([1.0, 1.0, 0.3]), 0.9)
+        lower, upper = solid.bounds()
+        pts = rng.uniform(lower - 1, upper + 1, size=(3000, 3))
+        inside = pts[solid.contains(pts)]
+        assert np.all(inside >= lower - 1e-9) and np.all(inside <= upper + 1e-9)
+
+    def test_nested_transform_composes(self):
+        solid = Sphere(radius=0.5).translated([1.0, 0.0, 0.0]).translated([0.0, 1.0, 0.0])
+        assert solid.contains(np.array([[1.0, 1.0, 0.0]]))[0]
+
+
+@given(
+    center=st.tuples(*[st.floats(-2, 2) for _ in range(3)]),
+    radius=st.floats(0.1, 2.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_sphere_membership_property(center, radius):
+    """Points strictly closer than the radius are in, farther are out."""
+    sphere = Sphere(center=center, radius=radius)
+    rng = np.random.default_rng(0)
+    directions = rng.normal(size=(20, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    inner = np.asarray(center) + directions * radius * 0.99
+    outer = np.asarray(center) + directions * radius * 1.01
+    assert sphere.contains(inner).all()
+    assert not sphere.contains(outer).any()

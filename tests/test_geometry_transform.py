@@ -1,0 +1,99 @@
+"""Tests for affine transforms and the cube symmetry group."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.transform import (
+    Transform,
+    reflection_matrix,
+    rotation_matrices_90,
+    rotation_matrix,
+    symmetry_matrices,
+)
+
+
+class TestRotationMatrix:
+    def test_z_quarter_turn_maps_x_to_y(self):
+        mat = rotation_matrix("z", np.pi / 2)
+        assert np.allclose(mat @ [1, 0, 0], [0, 1, 0])
+
+    def test_arbitrary_axis_is_orthogonal(self):
+        mat = rotation_matrix(np.array([1.0, 2.0, 3.0]), 0.7)
+        assert np.allclose(mat @ mat.T, np.eye(3))
+        assert np.isclose(np.linalg.det(mat), 1.0)
+
+    def test_rotation_preserves_axis(self):
+        axis = np.array([1.0, 1.0, 0.0])
+        mat = rotation_matrix(axis, 1.2345)
+        assert np.allclose(mat @ (axis / np.linalg.norm(axis)), axis / np.linalg.norm(axis))
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(GeometryError):
+            rotation_matrix(np.zeros(3), 1.0)
+
+    def test_unknown_axis_name_rejected(self):
+        with pytest.raises(GeometryError):
+            rotation_matrix("w", 1.0)
+
+
+class TestSymmetryGroup:
+    def test_24_proper_rotations(self):
+        mats = rotation_matrices_90()
+        assert len(mats) == 24
+
+    def test_all_are_signed_permutations_with_det_plus_one(self):
+        for mat in rotation_matrices_90():
+            assert np.allclose(np.abs(mat).sum(axis=0), 1)
+            assert np.allclose(np.abs(mat).sum(axis=1), 1)
+            assert np.isclose(np.linalg.det(mat), 1.0)
+
+    def test_group_closure(self):
+        mats = rotation_matrices_90()
+        keys = {np.rint(m).astype(int).tobytes() for m in mats}
+        for a in mats[:6]:
+            for b in mats[:6]:
+                assert np.rint(a @ b).astype(int).tobytes() in keys
+
+    def test_48_with_reflections(self):
+        mats = symmetry_matrices(include_reflections=True)
+        assert len(mats) == 48
+        dets = sorted(round(float(np.linalg.det(m))) for m in mats)
+        assert dets.count(-1) == 24 and dets.count(1) == 24
+
+    def test_reflection_matrix_flips_one_axis(self):
+        mat = reflection_matrix("y")
+        assert np.allclose(mat @ [1, 2, 3], [1, -2, 3])
+
+
+class TestTransform:
+    def test_translation_roundtrip(self):
+        t = Transform.translation([1.0, -2.0, 0.5])
+        point = np.array([3.0, 4.0, 5.0])
+        assert np.allclose(t.inverse().apply(t.apply(point)), point)
+
+    def test_composition_order(self):
+        rotate = Transform.rotation("z", np.pi / 2)
+        shift = Transform.translation([1.0, 0.0, 0.0])
+        composed = shift @ rotate  # rotate first, then shift
+        assert np.allclose(composed.apply([1.0, 0.0, 0.0]), [1.0, 1.0, 0.0])
+
+    def test_scaling_anisotropic(self):
+        t = Transform.scaling([2.0, 3.0, 0.5])
+        assert np.allclose(t.apply([1.0, 1.0, 1.0]), [2.0, 3.0, 0.5])
+
+    def test_apply_batch(self):
+        t = Transform.translation([1.0, 0.0, 0.0])
+        pts = np.zeros((5, 3))
+        assert np.allclose(t.apply(pts)[:, 0], 1.0)
+
+    def test_singular_inverse_rejected(self):
+        t = Transform(np.zeros((3, 3)), np.zeros(3))
+        with pytest.raises(GeometryError):
+            t.inverse()
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(GeometryError):
+            Transform(np.eye(2), np.zeros(3))
+        with pytest.raises(GeometryError):
+            Transform(np.eye(3), np.zeros(2))

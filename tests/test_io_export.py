@@ -1,0 +1,82 @@
+"""Tests for the CSV export helpers."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.clustering.optics import ClusterOrdering
+from repro.exceptions import StorageError
+from repro.io.export import (
+    export_distance_matrix_csv,
+    export_reachability_csv,
+    export_table_csv,
+)
+
+
+@pytest.fixture
+def ordering():
+    return ClusterOrdering(
+        order=np.array([2, 0, 1]),
+        reachability=np.array([np.inf, 0.5, 0.25]),
+        core_distances=np.array([0.1, 0.2, 0.15]),
+    )
+
+
+class TestReachabilityExport:
+    def test_roundtrip(self, ordering, tmp_path):
+        path = tmp_path / "reach.csv"
+        export_reachability_csv(ordering, path, names=["a", "b", "c"])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["position", "object_id", "name", "reachability", "core_distance"]
+        assert rows[1][1] == "2" and rows[1][2] == "c"
+        assert rows[1][3] == "inf"
+        assert float(rows[2][3]) == 0.5
+
+    def test_without_names(self, ordering, tmp_path):
+        path = tmp_path / "reach.csv"
+        export_reachability_csv(ordering, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows[0]) == 4
+
+    def test_name_count_checked(self, ordering, tmp_path):
+        with pytest.raises(StorageError):
+            export_reachability_csv(ordering, tmp_path / "x.csv", names=["only-one"])
+
+
+class TestMatrixExport:
+    def test_roundtrip(self, tmp_path, rng):
+        matrix = rng.random(size=(4, 4))
+        matrix = (matrix + matrix.T) / 2
+        path = tmp_path / "dist.csv"
+        export_distance_matrix_csv(matrix, path)
+        loaded = np.loadtxt(path, delimiter=",")
+        assert np.allclose(loaded, matrix, atol=1e-8)
+
+    def test_with_names(self, tmp_path, rng):
+        matrix = rng.random(size=(2, 2))
+        path = tmp_path / "dist.csv"
+        export_distance_matrix_csv(matrix, path, names=["x", "y"])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["", "x", "y"]
+        assert rows[1][0] == "x"
+
+    def test_non_square_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            export_distance_matrix_csv(np.zeros((2, 3)), tmp_path / "x.csv")
+
+
+class TestTableExport:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "table.csv"
+        export_table_csv(["k", "rate"], [[3, 0.682], [5, 0.951]], path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["k", "rate"], ["3", "0.682"], ["5", "0.951"]]
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            export_table_csv(["a", "b"], [[1]], tmp_path / "x.csv")

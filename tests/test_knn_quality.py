@@ -1,0 +1,59 @@
+"""Tests for the leave-one-out k-nn classification harness."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.knn_quality import leave_one_out_accuracy
+from repro.exceptions import ReproError
+
+
+def distance_matrix(points):
+    diff = points[:, np.newaxis, :] - points[np.newaxis, :, :]
+    return np.sqrt((diff * diff).sum(axis=2))
+
+
+class TestLeaveOneOut:
+    def test_separated_clusters_classify_perfectly(self, rng):
+        points = np.vstack(
+            [rng.normal(loc=c, scale=0.1, size=(20, 2)) for c in ((0, 0), (10, 10))]
+        )
+        labels = np.repeat([0, 1], 20)
+        families = ["a"] * 20 + ["b"] * 20
+        result = leave_one_out_accuracy(distance_matrix(points), labels, families, k=3)
+        assert result.accuracy == pytest.approx(1.0)
+        assert result.n_queries == 40
+        assert result.per_family == {"a": 1.0, "b": 1.0}
+
+    def test_noise_objects_are_not_queries(self, rng):
+        points = rng.normal(size=(10, 2))
+        labels = np.array([0] * 8 + [-1, -2])
+        families = ["a"] * 8 + ["noise", "noise"]
+        result = leave_one_out_accuracy(distance_matrix(points), labels, families, k=2)
+        assert result.n_queries == 8
+
+    def test_self_is_excluded(self):
+        """With k=1 and two identical far-apart pairs, each object's
+        nearest neighbor is its twin, not itself."""
+        points = np.array([[0.0, 0.0], [0.0, 0.0], [9.0, 9.0], [9.0, 9.0]])
+        labels = np.array([0, 0, 1, 1])
+        families = ["a", "a", "b", "b"]
+        result = leave_one_out_accuracy(distance_matrix(points), labels, families, k=1)
+        assert result.accuracy == pytest.approx(1.0)
+
+    def test_mixed_data_scores_below_one(self, rng):
+        points = rng.normal(size=(30, 2))  # no structure at all
+        labels = np.array([i % 3 for i in range(30)])
+        families = [f"f{i % 3}" for i in range(30)]
+        result = leave_one_out_accuracy(distance_matrix(points), labels, families, k=5)
+        assert result.accuracy < 1.0
+
+    def test_validation(self, rng):
+        points = rng.normal(size=(5, 2))
+        labels = np.zeros(5, dtype=int)
+        families = ["a"] * 5
+        with pytest.raises(ReproError):
+            leave_one_out_accuracy(distance_matrix(points), labels[:3], families, k=2)
+        with pytest.raises(ReproError):
+            leave_one_out_accuracy(distance_matrix(points), labels, families, k=0)
+        with pytest.raises(ReproError):
+            leave_one_out_accuracy(distance_matrix(points), labels, families, k=5)

@@ -1,0 +1,108 @@
+"""Tests for the end-to-end preparation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.parts import make_part
+from repro.exceptions import ReproError
+from repro.features.vector_set_model import VectorSetModel
+from repro.core.min_matching import min_matching_distance
+from repro.geometry.mesh import box_mesh
+from repro.geometry.sdf import Box, Sphere
+from repro.pipeline import Pipeline, pairwise_distance_matrix
+
+
+class TestPipeline:
+    def test_process_solid_returns_centered_grid(self):
+        pipeline = Pipeline(resolution=15)
+        grid, pose = pipeline.process_solid(Box(size=(2.0, 1.0, 0.5)))
+        lower, upper = grid.bounding_box()
+        slack_low = lower
+        slack_high = 14 - upper
+        assert np.all(np.abs(slack_low - slack_high) <= 1)
+        assert pose.scale_factors[0] > pose.scale_factors[2]
+
+    def test_placement_invariance(self, rng):
+        """The pipeline output is identical for any rigid 90-degree
+        placement of the same solid — the end-to-end statement of
+        Section 3.2's invariances."""
+        pipeline = Pipeline(resolution=15)
+        part = make_part("door", rng, place=False)
+        reference, _ = pipeline.process_solid(part.solid)
+        from repro.datasets.parts import random_placement
+
+        for _ in range(4):
+            placed = part.solid.transformed(random_placement(rng, mirror=True))
+            grid, _ = pipeline.process_solid(placed)
+            overlap = (grid.occupancy & reference.occupancy).sum()
+            union = (grid.occupancy | reference.occupancy).sum()
+            assert overlap / union > 0.55  # resampling noise only
+
+    def test_distances_shrink_under_invariance(self, rng):
+        """Matching distance between a part and its rotated copy is
+        near zero after the pipeline."""
+        pipeline = Pipeline(resolution=15)
+        model = VectorSetModel(k=7)
+        part = make_part("bracket", rng, place=False)
+        from repro.datasets.parts import random_placement
+
+        grid_a, _ = pipeline.process_solid(part.solid)
+        grid_b, _ = pipeline.process_solid(
+            part.solid.transformed(random_placement(rng))
+        )
+        same = min_matching_distance(model.extract(grid_a), model.extract(grid_b))
+        other = make_part("wing", rng, place=False)
+        grid_c, _ = pipeline.process_solid(other.solid)
+        different = min_matching_distance(model.extract(grid_a), model.extract(grid_c))
+        assert same < different
+
+    def test_process_mesh(self):
+        pipeline = Pipeline(resolution=12)
+        grid, pose = pipeline.process_mesh(box_mesh(size=(1.0, 2.0, 0.5)))
+        assert grid.count > 0
+
+    def test_process_part_carries_metadata(self, rng):
+        pipeline = Pipeline(resolution=12)
+        part = make_part("tire", rng, name="tire-x", class_id=5)
+        processed = pipeline.process_part(part)
+        assert processed.name == "tire-x"
+        assert processed.class_id == 5
+        assert processed.family == "tire"
+
+    def test_canonical_pose_optional(self, rng):
+        pipeline_raw = Pipeline(resolution=12, canonical_pose=False)
+        part = make_part("door", rng)
+        grid, _ = pipeline_raw.process_solid(part.solid)
+        assert grid.count > 0
+
+    def test_tiny_resolution_rejected(self):
+        with pytest.raises(ReproError):
+            Pipeline(resolution=1)
+
+    def test_degenerate_solid_rejected(self):
+        pipeline = Pipeline(resolution=8)
+        # A sphere fully outside its reported bounds cannot happen, but a
+        # zero-measure intersection can: intersection of disjoint boxes.
+        degenerate = Box(center=(0, 0, 0)) & Box(center=(10, 10, 10))
+        with pytest.raises(ReproError):
+            pipeline.process_solid(degenerate)
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_zero_diagonal(self, rng):
+        objects = [rng.normal(size=3) for _ in range(6)]
+        matrix = pairwise_distance_matrix(
+            objects, lambda a, b: float(np.linalg.norm(a - b))
+        )
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_calls_distance_once_per_pair(self, rng):
+        calls = []
+
+        def spy(a, b):
+            calls.append(1)
+            return 0.0
+
+        pairwise_distance_matrix(list(range(5)), spy)
+        assert len(calls) == 10  # 5 choose 2

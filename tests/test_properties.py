@@ -1,0 +1,112 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These test algebraic laws spanning several modules — the kind of
+invariant a single-module unit test misses.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.centroid import extended_centroid
+from repro.core.min_matching import min_matching_distance
+from repro.core.permutation import permutation_distance_via_matching
+from repro.features.cover_sequence import transform_cover_vectors
+from repro.geometry.transform import symmetry_matrices
+from repro.voxel.grid import VoxelGrid
+
+SYMMETRIES = symmetry_matrices(include_reflections=True)
+
+occupancy_grids = arrays(bool, (6, 6, 6), elements=st.booleans())
+
+vector_sets = st.integers(1, 5).flatmap(
+    lambda m: arrays(
+        float, (m, 6), elements=st.floats(-10, 10, allow_nan=False, width=32)
+    )
+)
+
+matrix_indices = st.integers(0, len(SYMMETRIES) - 1)
+
+
+class TestGridTransformGroup:
+    @given(occupancy_grids, matrix_indices, matrix_indices)
+    @settings(max_examples=40, deadline=None)
+    def test_transform_is_group_action(self, occupancy, i, j):
+        """grid.transformed(A @ B) == grid.transformed(B).transformed(A)."""
+        grid = VoxelGrid(occupancy)
+        mat_a, mat_b = SYMMETRIES[i], SYMMETRIES[j]
+        composed = grid.transformed(np.rint(mat_a @ mat_b))
+        sequential = grid.transformed(mat_b).transformed(mat_a)
+        assert np.array_equal(composed.occupancy, sequential.occupancy)
+
+    @given(occupancy_grids, matrix_indices)
+    @settings(max_examples=40, deadline=None)
+    def test_transform_inverse_roundtrip(self, occupancy, i):
+        grid = VoxelGrid(occupancy)
+        mat = SYMMETRIES[i]
+        roundtrip = grid.transformed(mat).transformed(np.rint(np.linalg.inv(mat)))
+        assert np.array_equal(roundtrip.occupancy, grid.occupancy)
+
+    @given(occupancy_grids, matrix_indices)
+    @settings(max_examples=40, deadline=None)
+    def test_transform_preserves_surface_count(self, occupancy, i):
+        grid = VoxelGrid(occupancy)
+        moved = grid.transformed(SYMMETRIES[i])
+        assert moved.surface().sum() == grid.surface().sum()
+
+
+class TestDistanceInvariances:
+    @given(vector_sets, vector_sets, matrix_indices)
+    @settings(max_examples=40, deadline=None)
+    def test_matching_distance_is_symmetry_invariant(self, x, y, i):
+        """Rotating BOTH cover sets by the same cube symmetry preserves
+        the minimal matching distance (the element distance and the norm
+        weight are rotation-invariant)."""
+        mat = SYMMETRIES[i]
+        before = min_matching_distance(x, y)
+        after = min_matching_distance(
+            transform_cover_vectors(x, mat), transform_cover_vectors(y, mat)
+        )
+        assert after == pytest.approx(before, abs=1e-6)
+
+    @given(vector_sets, vector_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_distance_bounded_by_matching_sum(self, x, y):
+        """d_pi <= d_mm-ish sanity: both vanish together."""
+        matching = min_matching_distance(x, y)
+        permutation = permutation_distance_via_matching(x, y)
+        if matching == pytest.approx(0.0, abs=1e-9):
+            assert permutation == pytest.approx(0.0, abs=1e-6)
+
+    @given(vector_sets, matrix_indices)
+    @settings(max_examples=40, deadline=None)
+    def test_centroid_commutes_with_symmetry(self, x, i):
+        """C(M x) == M C(x) for omega = 0: the filter step respects the
+        rotation group, so a rotated query can reuse rotated centroids."""
+        mat = SYMMETRIES[i]
+        moved = transform_cover_vectors(x, mat)
+        lifted = np.zeros((6, 6))
+        lifted[:3, :3] = mat
+        lifted[3:, 3:] = np.abs(mat)
+        expected = extended_centroid(x, 7) @ lifted.T
+        assert np.allclose(extended_centroid(moved, 7), expected, atol=1e-9)
+
+
+class TestScaleLaws:
+    @given(vector_sets, vector_sets, st.floats(0.1, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_matching_distance_is_homogeneous(self, x, y, scale):
+        """d(ax, ay) == a * d(x, y) — absolute homogeneity, the law the
+        scaling-invariance toggle relies on."""
+        base = min_matching_distance(x, y)
+        scaled = min_matching_distance(x * scale, y * scale)
+        assert scaled == pytest.approx(scale * base, rel=1e-6, abs=1e-6)
+
+    @given(vector_sets, st.floats(0.1, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_centroid_is_homogeneous(self, x, scale):
+        assert np.allclose(
+            extended_centroid(x * scale, 7), scale * extended_centroid(x, 7)
+        )
