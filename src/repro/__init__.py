@@ -39,12 +39,12 @@ from repro.core.permutation import (
 )
 from repro.core.queries import FilterRefineEngine, QueryMatch, QueryStats
 from repro.core.vector_set import VectorSet
-from repro.exceptions import ReproError
+from repro.exceptions import IngestError, ReproError, StorageError
 from repro.features.cover_sequence import CoverSequenceModel, extract_cover_sequence
 from repro.features.solid_angle import SolidAngleModel
 from repro.features.vector_set_model import VectorSetModel
 from repro.features.volume import VolumeModel
-from repro.pipeline import Pipeline, ProcessedObject
+from repro.pipeline import IngestRecord, IngestReport, Pipeline, ProcessedObject
 from repro.voxel.grid import VoxelGrid
 from repro.voxel.voxelize import voxelize_mesh, voxelize_solid
 
@@ -53,8 +53,12 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ReproError",
+    "StorageError",
+    "IngestError",
     "Pipeline",
     "ProcessedObject",
+    "IngestReport",
+    "IngestRecord",
     "VoxelGrid",
     "voxelize_solid",
     "voxelize_mesh",

@@ -14,10 +14,18 @@ Examples
 ::
 
     python -m repro ingest --dataset car --out car.npz
+    python -m repro ingest --meshes parts/ --on-error retry --out parts.npz
     python -m repro info car.npz
     python -m repro query car.npz --name tire-003 -k 5
     python -m repro cluster car.npz
     python -m repro experiment table1
+
+Exit codes
+----------
+``0``  success; ``1``  a :class:`~repro.exceptions.ReproError` aborted the
+command; ``2``  bad invocation (unknown name, empty mesh directory,
+nothing ingested); ``3``  partial success — ``ingest`` wrote a database
+but some inputs failed (details on stderr).
 """
 
 from __future__ import annotations
@@ -51,6 +59,18 @@ def _build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--covers", type=int, default=7)
     ingest.add_argument("--n", type=int, help="aircraft dataset size")
     ingest.add_argument("--seed", type=int, default=None)
+    ingest.add_argument(
+        "--on-error",
+        choices=["raise", "skip", "retry"],
+        default=None,
+        help="failure policy for bad inputs "
+        "(default: skip for --meshes, raise for --dataset)",
+    )
+    ingest.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort on the first bad input (shorthand for --on-error raise)",
+    )
 
     query = commands.add_parser("query", help="k-nn search against a database")
     query.add_argument("database", type=Path)
@@ -82,15 +102,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _load_mesh(path: Path):
-    from repro.io.off import read_off
-    from repro.io.stl import read_stl
+    from repro.io import read_mesh
 
-    suffix = path.suffix.lower()
-    if suffix == ".off":
-        return read_off(path)
-    if suffix == ".stl":
-        return read_stl(path)
-    raise ReproError(f"unsupported mesh format: {path.suffix!r} (use .stl or .off)")
+    return read_mesh(path)
 
 
 def cmd_ingest(args) -> int:
@@ -103,6 +117,13 @@ def cmd_ingest(args) -> int:
     database = ObjectDatabase()
     features = []
 
+    policy = "raise" if args.strict else args.on_error
+    if policy is None:
+        # Mesh collections routinely contain a few broken exports:
+        # continue past them by default.  Synthetic datasets are ours,
+        # so a failure there is a bug worth surfacing immediately.
+        policy = "skip" if args.meshes else "raise"
+
     if args.dataset:
         from repro.datasets.aircraft import make_aircraft_dataset
         from repro.datasets.car import make_car_dataset
@@ -111,43 +132,43 @@ def cmd_ingest(args) -> int:
             parts, _ = make_car_dataset(seed=args.seed or 2003)
         else:
             parts, _ = make_aircraft_dataset(n=args.n, seed=args.seed or 1903)
-        for part in parts:
-            processed = pipeline.process_part(part)
-            database.add(
-                StoredObject(
-                    name=processed.name,
-                    family=processed.family,
-                    class_id=processed.class_id,
-                    grid=processed.grid,
-                    pose=processed.pose,
-                )
-            )
-            features.append(model.extract(processed.grid))
+        report = pipeline.process_parts(parts, on_error=policy)
     else:
-        mesh_files = sorted(
-            list(args.meshes.glob("*.stl"))
-            + list(args.meshes.glob("*.off"))
-        )
-        if not mesh_files:
+        report = pipeline.process_mesh_directory(args.meshes, on_error=policy)
+        if not report.records:
             print(f"no .stl/.off files in {args.meshes}", file=sys.stderr)
             return 2
-        for index, path in enumerate(mesh_files):
-            grid, pose = pipeline.process_mesh(_load_mesh(path))
-            database.add(
-                StoredObject(
-                    name=path.stem,
-                    family="mesh",
-                    class_id=index,
-                    grid=grid,
-                    pose=pose,
-                )
-            )
-            features.append(model.extract(grid))
 
+    # Feature extraction runs under the same isolation policy: a grid
+    # the model rejects must not abort the rest of the batch.
+    for processed in list(report.objects):
+        try:
+            extracted = model.extract(processed.grid)
+        except Exception as exc:
+            if policy == "raise":
+                raise
+            report.demote(processed, exc)
+            continue
+        database.add(
+            StoredObject(
+                name=processed.name,
+                family=processed.family,
+                class_id=processed.class_id,
+                grid=processed.grid,
+                pose=processed.pose,
+            )
+        )
+        features.append(extracted)
+
+    if not report.all_ok():
+        print(report.summary(), file=sys.stderr)
+    if len(database) == 0:
+        print("nothing ingested; database not written", file=sys.stderr)
+        return 2
     database.set_features(MODEL_KEY.format(k=args.covers), features)
     database.save(args.out)
     print(f"ingested {len(database)} objects -> {args.out}")
-    return 0
+    return 0 if report.all_ok() else 3
 
 
 def _open_engine(path: Path, covers: int):

@@ -43,3 +43,8 @@ class DatasetError(ReproError):
 
 class StorageError(ReproError):
     """Persistence layer failure (unknown format, corrupt file, ...)."""
+
+
+class IngestError(ReproError):
+    """Batch ingestion failed as a whole (bad policy, nothing ingested,
+    or a caller asked :meth:`IngestReport.raise_if_failed` to escalate)."""

@@ -1,6 +1,9 @@
 """Persistence: mesh formats, voxel grids and the object database."""
 
-from repro.io.database import ObjectDatabase, StoredObject
+from pathlib import Path
+
+from repro.exceptions import StorageError
+from repro.io.database import ObjectDatabase, SkippedRecord, StoredObject
 from repro.io.export import (
     export_distance_matrix_csv,
     export_reachability_csv,
@@ -10,7 +13,22 @@ from repro.io.off import read_off, write_off
 from repro.io.stl import read_stl, write_stl_ascii, write_stl_binary
 from repro.io.vox import load_grid, save_grid
 
+
+def read_mesh(path):
+    """Read a mesh file, dispatching on its suffix (``.stl``/``.off``)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".off":
+        return read_off(path)
+    if suffix == ".stl":
+        return read_stl(path)
+    raise StorageError(
+        f"unsupported mesh format: {path.suffix!r} (use .stl or .off)"
+    )
+
+
 __all__ = [
+    "read_mesh",
     "read_off",
     "write_off",
     "read_stl",
@@ -20,6 +38,7 @@ __all__ = [
     "load_grid",
     "ObjectDatabase",
     "StoredObject",
+    "SkippedRecord",
     "export_reachability_csv",
     "export_distance_matrix_csv",
     "export_table_csv",

@@ -12,62 +12,107 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import StorageError
+from repro.exceptions import ReproError, StorageError
 from repro.geometry.mesh import TriangleMesh
 
 
-def _meaningful_lines(text: str) -> list[str]:
+def _meaningful_lines(text: str) -> list[tuple[int, str]]:
+    """Strip comments/blanks, keeping 1-based source line numbers."""
     lines = []
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), 1):
         line = raw.split("#", 1)[0].strip()
         if line:
-            lines.append(line)
+            lines.append((lineno, line))
     return lines
 
 
-def read_off(path: str | Path) -> TriangleMesh:
-    """Read an OFF file into a :class:`TriangleMesh`."""
-    try:
-        text = Path(path).read_text()
-    except OSError as exc:
-        raise StorageError(f"cannot read OFF file {path}: {exc}") from exc
+def _parse_off(text: str, path) -> TriangleMesh:
     lines = _meaningful_lines(text)
     if not lines:
         raise StorageError(f"{path}: empty OFF file")
     cursor = 0
-    header = lines[cursor]
+    header_lineno, header = lines[cursor]
     if header.upper().startswith("OFF"):
         cursor += 1
         remainder = header[3:].strip()
         if remainder:  # counts on the same line as the magic
-            lines.insert(cursor, remainder)
+            lines.insert(cursor, (header_lineno, remainder))
+    if cursor >= len(lines):
+        raise StorageError(f"{path}: missing OFF counts line")
+    counts_lineno, counts_line = lines[cursor]
     try:
-        n_vertices, n_faces, _ = (int(tok) for tok in lines[cursor].split()[:3])
+        n_vertices, n_faces, _ = (int(tok) for tok in counts_line.split()[:3])
     except (ValueError, IndexError):
-        raise StorageError(f"{path}: malformed OFF counts line") from None
+        raise StorageError(
+            f"{path}:{counts_lineno}: malformed OFF counts line"
+        ) from None
+    if n_vertices < 0 or n_faces < 0:
+        raise StorageError(f"{path}:{counts_lineno}: negative OFF counts")
+    if n_vertices == 0:
+        raise StorageError(f"{path}: OFF file declares no vertices")
     cursor += 1
+    # The declared counts are capped against the actual file content
+    # before any allocation happens, so a tiny file cannot declare its
+    # way into a huge buffer.
     if len(lines) < cursor + n_vertices + n_faces:
         raise StorageError(f"{path}: truncated OFF file")
     try:
         vertices = np.array(
-            [[float(tok) for tok in lines[cursor + i].split()[:3]] for i in range(n_vertices)]
+            [
+                [float(tok) for tok in lines[cursor + i][1].split()[:3]]
+                for i in range(n_vertices)
+            ],
+            dtype=float,
         )
     except ValueError:
         raise StorageError(f"{path}: malformed vertex line") from None
+    if vertices.ndim != 2 or vertices.shape[1] != 3:
+        raise StorageError(f"{path}: vertex lines must carry 3 coordinates")
+    if not np.isfinite(vertices).all():
+        raise StorageError(f"{path}: non-finite vertex coordinates")
     cursor += n_vertices
     faces: list[list[int]] = []
     for i in range(n_faces):
-        tokens = lines[cursor + i].split()
+        lineno, line = lines[cursor + i]
+        tokens = line.split()
         try:
             arity = int(tokens[0])
             indices = [int(tok) for tok in tokens[1 : 1 + arity]]
         except (ValueError, IndexError):
-            raise StorageError(f"{path}: malformed face line") from None
+            raise StorageError(f"{path}:{lineno}: malformed face line") from None
         if arity < 3 or len(indices) != arity:
-            raise StorageError(f"{path}: face with arity {arity} is invalid")
+            raise StorageError(
+                f"{path}:{lineno}: face with arity {arity} is invalid"
+            )
+        for index in indices:
+            if not 0 <= index < n_vertices:
+                raise StorageError(
+                    f"{path}:{lineno}: face index {index} outside "
+                    f"[0, {n_vertices})"
+                )
         for j in range(1, arity - 1):  # fan triangulation
             faces.append([indices[0], indices[j], indices[j + 1]])
-    return TriangleMesh(vertices, np.asarray(faces, dtype=int))
+    return TriangleMesh(vertices, np.asarray(faces, dtype=int).reshape(-1, 3))
+
+
+def read_off(path: str | Path) -> TriangleMesh:
+    """Read an OFF file into a :class:`TriangleMesh`.
+
+    Any malformed input raises :class:`StorageError` (or another
+    :class:`~repro.exceptions.ReproError`) carrying the offending line
+    number where one is known; no foreign exception type can leak from
+    arbitrary input bytes.
+    """
+    try:
+        text = Path(path).read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise StorageError(f"cannot read OFF file {path}: {exc}") from exc
+    try:
+        return _parse_off(text, path)
+    except ReproError:
+        raise
+    except Exception as exc:  # belt-and-braces: never leak a foreign type
+        raise StorageError(f"{path}: unreadable OFF ({exc})") from exc
 
 
 def write_off(mesh: TriangleMesh, path: str | Path) -> None:

@@ -12,21 +12,32 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import StorageError
+from repro.exceptions import ReproError, StorageError
 from repro.geometry.mesh import TriangleMesh
+
+
+def _require_finite(verts: np.ndarray, path) -> None:
+    if verts.size and not np.isfinite(verts).all():
+        raise StorageError(f"{path}: non-finite vertex coordinates")
 
 
 def _read_ascii(text: str, path) -> TriangleMesh:
     vertices: list[list[float]] = []
-    for line in text.splitlines():
+    for lineno, line in enumerate(text.splitlines(), 1):
         tokens = line.split()
         if tokens[:1] == ["vertex"]:
             if len(tokens) < 4:
-                raise StorageError(f"{path}: malformed vertex line")
-            vertices.append([float(tok) for tok in tokens[1:4]])
+                raise StorageError(f"{path}:{lineno}: malformed vertex line")
+            try:
+                vertices.append([float(tok) for tok in tokens[1:4]])
+            except ValueError:
+                raise StorageError(
+                    f"{path}:{lineno}: malformed vertex line"
+                ) from None
     if not vertices or len(vertices) % 3:
         raise StorageError(f"{path}: ASCII STL does not contain whole triangles")
     verts = np.asarray(vertices)
+    _require_finite(verts, path)
     faces = np.arange(len(verts)).reshape(-1, 3)
     return TriangleMesh(verts, faces)
 
@@ -35,30 +46,47 @@ def _read_binary(blob: bytes, path) -> TriangleMesh:
     if len(blob) < 84:
         raise StorageError(f"{path}: binary STL too short")
     (n_triangles,) = struct.unpack_from("<I", blob, 80)
-    expected = 84 + n_triangles * 50
-    if len(blob) < expected:
-        raise StorageError(f"{path}: binary STL truncated")
+    # Cap the declared count against the actual file size *before* any
+    # allocation, so a crafted 84-byte header declaring 2^31 triangles
+    # fails fast instead of attempting a multi-GB buffer.
+    available = (len(blob) - 84) // 50
+    if n_triangles > available:
+        raise StorageError(
+            f"{path}: binary STL declares {n_triangles} triangles but the "
+            f"file only holds {available}"
+        )
     raw = np.frombuffer(blob, dtype=np.uint8, count=n_triangles * 50, offset=84)
     records = raw.reshape(n_triangles, 50)
     floats = records[:, :48].copy().view("<f4").reshape(n_triangles, 12)
     verts = floats[:, 3:12].reshape(-1, 3).astype(float)  # skip the normal
+    _require_finite(verts, path)
     faces = np.arange(len(verts)).reshape(-1, 3)
     return TriangleMesh(verts, faces)
 
 
 def read_stl(path: str | Path) -> TriangleMesh:
-    """Read an STL file (format auto-detected)."""
+    """Read an STL file (format auto-detected).
+
+    Any malformed input raises :class:`StorageError` (or another
+    :class:`~repro.exceptions.ReproError`); no foreign exception type
+    can leak from arbitrary input bytes.
+    """
     try:
         blob = Path(path).read_bytes()
     except OSError as exc:
         raise StorageError(f"cannot read STL file {path}: {exc}") from exc
-    head = blob[:512].lstrip()
-    if head.startswith(b"solid"):
-        try:
-            return _read_ascii(blob.decode("ascii", errors="strict"), path)
-        except (UnicodeDecodeError, StorageError):
-            pass  # "solid" prefix but actually binary — fall through
-    return _read_binary(blob, path)
+    try:
+        head = blob[:512].lstrip()
+        if head.startswith(b"solid"):
+            try:
+                return _read_ascii(blob.decode("ascii", errors="strict"), path)
+            except (UnicodeDecodeError, StorageError):
+                pass  # "solid" prefix but actually binary — fall through
+        return _read_binary(blob, path)
+    except ReproError:
+        raise
+    except Exception as exc:  # belt-and-braces: never leak a foreign type
+        raise StorageError(f"{path}: unreadable STL ({exc})") from exc
 
 
 def write_stl_ascii(mesh: TriangleMesh, path: str | Path, name: str = "repro") -> None:

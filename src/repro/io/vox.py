@@ -1,27 +1,46 @@
-"""Voxel-grid persistence (compressed ``.npz``)."""
+"""Voxel-grid persistence (compressed ``.npz``).
+
+Writes are atomic (temp file + ``os.replace``) and loads validate the
+declared resolution against the stored payload before allocating, so a
+corrupt or truncated file raises :class:`StorageError` instead of a
+foreign exception or a runaway allocation.
+"""
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import StorageError
+from repro.exceptions import ReproError, StorageError
 from repro.voxel.grid import VoxelGrid
+
+#: Largest plausible raster resolution for a persisted grid.
+MAX_RESOLUTION = 4096
 
 
 def save_grid(grid: VoxelGrid, path: str | Path) -> None:
     """Persist a voxel grid (occupancy bit-packed, origin, voxel size)."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     try:
-        np.savez_compressed(
-            Path(path),
-            packed=np.packbits(grid.occupancy),
-            resolution=np.array([grid.resolution]),
-            origin=grid.origin,
-            voxel_size=np.array([grid.voxel_size]),
-        )
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                packed=np.packbits(grid.occupancy),
+                resolution=np.array([grid.resolution]),
+                origin=grid.origin,
+                voxel_size=np.array([grid.voxel_size]),
+            )
+        os.replace(tmp, path)
     except OSError as exc:
         raise StorageError(f"cannot write voxel grid {path}: {exc}") from exc
+    finally:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
 
 
 def load_grid(path: str | Path) -> VoxelGrid:
@@ -29,11 +48,22 @@ def load_grid(path: str | Path) -> VoxelGrid:
     try:
         with np.load(Path(path)) as data:
             resolution = int(data["resolution"][0])
-            packed = data["packed"]
-            origin = data["origin"]
+            packed = np.asarray(data["packed"])
+            origin = np.asarray(data["origin"], dtype=float)
             voxel_size = float(data["voxel_size"][0])
-    except (OSError, KeyError, ValueError) as exc:
+    except ReproError:
+        raise
+    except Exception as exc:
+        # OSError, KeyError, ValueError, zlib.error, BadZipFile, ...
         raise StorageError(f"cannot load voxel grid {path}: {exc}") from exc
+    if not 1 <= resolution <= MAX_RESOLUTION:
+        raise StorageError(f"{path}: implausible resolution {resolution}")
+    if origin.shape != (3,):
+        raise StorageError(f"{path}: origin must have 3 components")
+    if packed.dtype != np.uint8:
+        raise StorageError(f"{path}: occupancy data has dtype {packed.dtype}")
     n_voxels = resolution**3
+    if packed.size * 8 < n_voxels:
+        raise StorageError(f"{path}: occupancy data truncated")
     occupancy = np.unpackbits(packed, count=n_voxels).astype(bool)
     return VoxelGrid(occupancy.reshape((resolution,) * 3), origin, voxel_size)

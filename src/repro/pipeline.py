@@ -17,18 +17,27 @@ and finally handed to a feature model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
 from repro.datasets.parts import CADPart
-from repro.exceptions import ReproError
+from repro.exceptions import IngestError, ReproError, StorageError
 from repro.geometry.mesh import TriangleMesh
 from repro.geometry.sdf import Solid
 from repro.normalize.pose import PoseInfo, normalize_grid
 from repro.normalize.symmetry import canonicalize_grid
 from repro.voxel.grid import VoxelGrid
 from repro.voxel.voxelize import voxelize_mesh, voxelize_solid
+
+#: Valid values for the ``on_error`` ingestion policy.
+ON_ERROR_POLICIES = ("raise", "skip", "retry")
+
+#: Mesh file suffixes the directory ingest path recognizes.
+MESH_SUFFIXES = (".stl", ".off")
 
 
 @dataclass(frozen=True)
@@ -40,6 +49,164 @@ class ProcessedObject:
     class_id: int
     grid: VoxelGrid
     pose: PoseInfo
+
+
+@dataclass(frozen=True)
+class IngestRecord:
+    """Per-object outcome of a batch ingest.
+
+    Attributes
+    ----------
+    name:
+        Object name (part name or mesh file stem).
+    status:
+        ``"ok"`` or ``"failed"``.
+    attempts:
+        How many pipeline attempts were spent on this object (1 for a
+        first-try success, up to the length of the retry ladder).
+    seconds:
+        Wall time spent on this object across all attempts.
+    error_type / error:
+        Exception class name and message of the *last* failure (``None``
+        for successes).
+    fallback:
+        Which retry-ladder rung produced the success (``None`` when the
+        initial attempt worked), e.g. ``"supersample"`` or
+        ``"reduced-resolution"``.
+    source:
+        Originating file for directory ingests, ``None`` otherwise.
+    """
+
+    name: str
+    status: str
+    attempts: int
+    seconds: float
+    error_type: str | None = None
+    error: str | None = None
+    fallback: str | None = None
+    source: str | None = None
+
+
+class IngestReport(Sequence):
+    """Outcome of a batch ingest: surviving objects plus per-object records.
+
+    The report is a read-only sequence of the successfully processed
+    :class:`ProcessedObject` instances, so existing callers that iterate
+    or index the result of :meth:`Pipeline.process_parts` keep working
+    unchanged.  Failure details live in :attr:`records`.
+    """
+
+    def __init__(self, policy: str = "raise") -> None:
+        self.policy = policy
+        self.records: list[IngestRecord] = []
+        self.objects: list[ProcessedObject] = []
+
+    # -- sequence protocol (over the successes) -----------------------------
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __getitem__(self, index):
+        return self.objects[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IngestReport(ok={len(self.objects)}, "
+            f"failed={len(self.failures)}, policy={self.policy!r})"
+        )
+
+    # -- recording -----------------------------------------------------------
+
+    def record_success(
+        self,
+        obj: ProcessedObject,
+        attempts: int = 1,
+        seconds: float = 0.0,
+        fallback: str | None = None,
+        source: str | None = None,
+    ) -> None:
+        self.objects.append(obj)
+        self.records.append(
+            IngestRecord(
+                name=obj.name,
+                status="ok",
+                attempts=attempts,
+                seconds=seconds,
+                fallback=fallback,
+                source=source,
+            )
+        )
+
+    def record_failure(
+        self,
+        name: str,
+        exc: BaseException,
+        attempts: int = 1,
+        seconds: float = 0.0,
+        source: str | None = None,
+    ) -> None:
+        self.records.append(
+            IngestRecord(
+                name=name,
+                status="failed",
+                attempts=attempts,
+                seconds=seconds,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                source=source,
+            )
+        )
+
+    def demote(self, obj: ProcessedObject, exc: BaseException) -> None:
+        """Convert an earlier success into a failure (e.g. a later stage
+        such as feature extraction rejected the object)."""
+        self.objects = [o for o in self.objects if o is not obj]
+        for index, rec in enumerate(self.records):
+            if rec.name == obj.name and rec.status == "ok":
+                self.records[index] = replace(
+                    rec,
+                    status="failed",
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                )
+                return
+        self.record_failure(obj.name, exc)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def failures(self) -> list[IngestRecord]:
+        return [rec for rec in self.records if rec.status == "failed"]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(rec.seconds for rec in self.records)
+
+    def all_ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (used by the CLI)."""
+        lines = [
+            f"{len(self.objects)}/{len(self.records)} objects ingested "
+            f"({len(self.failures)} failed, policy={self.policy}, "
+            f"{self.total_seconds:.2f}s)"
+        ]
+        for rec in self.failures:
+            where = rec.source or rec.name
+            lines.append(
+                f"  FAILED {where}: {rec.error_type}: {rec.error} "
+                f"(attempts={rec.attempts})"
+            )
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        """Escalate any recorded failure to an :class:`IngestError`."""
+        if self.failures:
+            raise IngestError(
+                f"{len(self.failures)} of {len(self.records)} objects failed "
+                f"to ingest:\n{self.summary()}"
+            )
 
 
 class Pipeline:
@@ -90,21 +257,33 @@ class Pipeline:
             normalized = canonicalize_grid(normalized, self.include_reflections)
         return normalized, pose
 
-    def process_solid(self, solid: Solid) -> tuple[VoxelGrid, PoseInfo]:
+    def process_solid(
+        self,
+        solid: Solid,
+        resolution: int | None = None,
+        supersample: int | None = None,
+    ) -> tuple[VoxelGrid, PoseInfo]:
         """Voxelize and normalize an analytic solid.
 
         Uses unbiased center sampling; if a degenerate alignment leaves
         the grid empty (possible for features much thinner than one
         voxel), the voxelization is retried with conservative
-        supersampling before giving up.
+        supersampling before giving up.  ``resolution``/``supersample``
+        override the pipeline defaults (used by the retry ladder).
         """
+        res = resolution or self.resolution
+        base_supersample = supersample or 1
         grid = voxelize_solid(
-            solid, self.resolution, margin=self.margin, keep_aspect=self.keep_aspect
+            solid,
+            res,
+            margin=self.margin,
+            keep_aspect=self.keep_aspect,
+            supersample=base_supersample,
         )
-        if grid.is_empty():
+        if grid.is_empty() and base_supersample == 1:
             grid = voxelize_solid(
                 solid,
-                self.resolution,
+                res,
                 margin=self.margin,
                 keep_aspect=self.keep_aspect,
                 supersample=4,
@@ -113,20 +292,25 @@ class Pipeline:
             raise ReproError("solid voxelized to an empty grid; check its size")
         return self.process_grid(grid)
 
-    def process_mesh(self, mesh: TriangleMesh, fill: bool = True) -> tuple[VoxelGrid, PoseInfo]:
+    def process_mesh(
+        self,
+        mesh: TriangleMesh,
+        fill: bool = True,
+        resolution: int | None = None,
+    ) -> tuple[VoxelGrid, PoseInfo]:
         """Voxelize and normalize a triangle mesh."""
         grid = voxelize_mesh(
             mesh,
-            self.resolution,
+            resolution or self.resolution,
             margin=self.margin,
             keep_aspect=self.keep_aspect,
             fill=fill,
         )
         return self.process_grid(grid)
 
-    def process_part(self, part: CADPart) -> ProcessedObject:
+    def process_part(self, part: CADPart, **overrides) -> ProcessedObject:
         """Process one labeled dataset part."""
-        grid, pose = self.process_solid(part.solid)
+        grid, pose = self.process_solid(part.solid, **overrides)
         return ProcessedObject(
             name=part.name,
             family=part.family,
@@ -137,9 +321,163 @@ class Pipeline:
 
     # -- batches -------------------------------------------------------------
 
-    def process_parts(self, parts: list[CADPart]) -> list[ProcessedObject]:
-        """Process a whole dataset (deterministic, order-preserving)."""
-        return [self.process_part(part) for part in parts]
+    def _reduced_resolution(self) -> int:
+        """The resolution the last retry-ladder rung falls back to."""
+        return max(self.resolution // 2, 2 * self.margin + 2, 4)
+
+    def _retry_ladder(self, kind: str) -> list[tuple[str | None, dict]]:
+        """The bounded attempt ladder for ``on_error="retry"``.
+
+        Rung 1 is the normal pipeline.  Rung 2 re-voxelizes with
+        conservative supersampling (solids; the mesh rasterizer is
+        already supersampled, so meshes get a plain re-read/retry which
+        clears transient I/O faults).  Rung 3 drops to a reduced raster
+        resolution as a last resort.
+        """
+        reduced = self._reduced_resolution()
+        if kind == "solid":
+            ladder: list[tuple[str | None, dict]] = [
+                (None, {}),
+                ("supersample", {"supersample": 4}),
+            ]
+        else:
+            ladder = [(None, {}), ("retry", {})]
+        if reduced < self.resolution:
+            ladder.append(("reduced-resolution", {"resolution": reduced}))
+        return ladder
+
+    def _ingest_one(
+        self,
+        name: str,
+        build,
+        kind: str,
+        on_error: str,
+        report: IngestReport,
+        source: str | None = None,
+    ) -> None:
+        """Run *build* under the *on_error* policy, recording the outcome.
+
+        ``build(**overrides)`` must return a :class:`ProcessedObject`.
+        With ``on_error="raise"`` the first exception propagates
+        unchanged; ``"skip"`` records a single failed attempt;
+        ``"retry"`` walks the bounded fallback ladder before recording
+        a failure.
+        """
+        ladder = self._retry_ladder(kind) if on_error == "retry" else [(None, {})]
+        start = time.perf_counter()
+        last_exc: BaseException | None = None
+        for attempt, (fallback, overrides) in enumerate(ladder, 1):
+            try:
+                obj = build(**overrides)
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                last_exc = exc
+                continue
+            report.record_success(
+                obj,
+                attempts=attempt,
+                seconds=time.perf_counter() - start,
+                fallback=fallback,
+                source=source,
+            )
+            return
+        assert last_exc is not None
+        report.record_failure(
+            name,
+            last_exc,
+            attempts=len(ladder),
+            seconds=time.perf_counter() - start,
+            source=source,
+        )
+
+    def process_parts(
+        self, parts: list[CADPart], on_error: str = "raise"
+    ) -> IngestReport:
+        """Process a whole dataset (deterministic, order-preserving).
+
+        Parameters
+        ----------
+        parts:
+            The labeled parts to push through the pipeline.
+        on_error:
+            Failure policy. ``"raise"`` (default) propagates the first
+            failure unchanged; ``"skip"`` isolates failures to the part
+            that caused them and records them in the report; ``"retry"``
+            additionally walks a bounded fallback ladder (supersampled
+            re-voxelization, then reduced resolution) before giving up
+            on a part.
+
+        Returns
+        -------
+        IngestReport
+            A sequence of the surviving :class:`ProcessedObject`
+            instances (drop-in compatible with the previous ``list``
+            return) carrying per-object :class:`IngestRecord` entries.
+        """
+        if on_error not in ON_ERROR_POLICIES:
+            raise IngestError(
+                f"unknown on_error policy {on_error!r}; choose from {ON_ERROR_POLICIES}"
+            )
+        report = IngestReport(on_error)
+        for part in parts:
+            self._ingest_one(
+                part.name,
+                lambda **ov: self.process_part(part, **ov),
+                "solid",
+                on_error,
+                report,
+            )
+        return report
+
+    def process_mesh_directory(
+        self,
+        directory: str | Path,
+        on_error: str = "skip",
+        fill: bool = True,
+        suffixes: tuple[str, ...] = MESH_SUFFIXES,
+    ) -> IngestReport:
+        """Ingest every mesh file in *directory* (sorted, deterministic).
+
+        Files are matched case-insensitively against *suffixes*; each
+        becomes a :class:`ProcessedObject` named after its stem, family
+        ``"mesh"``, and a class id equal to its position in the sorted
+        file list (stable even when other files fail).  The default
+        policy is ``"skip"`` — real mesh collections routinely contain a
+        few malformed exports, and one bad file must not abort the
+        batch.
+        """
+        if on_error not in ON_ERROR_POLICIES:
+            raise IngestError(
+                f"unknown on_error policy {on_error!r}; choose from {ON_ERROR_POLICIES}"
+            )
+        from repro.io import read_mesh
+
+        directory = Path(directory)
+        try:
+            files = sorted(
+                p for p in directory.iterdir() if p.suffix.lower() in suffixes
+            )
+        except OSError as exc:
+            raise StorageError(f"cannot list mesh directory {directory}: {exc}") from exc
+        report = IngestReport(on_error)
+        for class_id, path in enumerate(files):
+
+            def build(path=path, class_id=class_id, **overrides):
+                mesh = read_mesh(path)
+                grid, pose = self.process_mesh(mesh, fill=fill, **overrides)
+                return ProcessedObject(
+                    name=path.stem,
+                    family="mesh",
+                    class_id=class_id,
+                    grid=grid,
+                    pose=pose,
+                )
+
+            self._ingest_one(
+                path.stem, build, "mesh", on_error, report, source=str(path)
+            )
+        return report
 
 
 def pairwise_distance_matrix(objects: list, distance) -> np.ndarray:

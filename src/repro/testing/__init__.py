@@ -1,0 +1,36 @@
+"""Test support for the :mod:`repro` library.
+
+:mod:`repro.testing.faults` is a deterministic fault-injection harness:
+counter-based schedules plus context managers that make voxelization,
+file reads and ``np.savez`` fail on cue, and helpers that corrupt bytes
+on disk.  Used by ``tests/test_fault_injection.py`` to prove every
+degradation path of the ingestion and persistence layers.
+"""
+
+from repro.testing.faults import (
+    FaultSchedule,
+    corrupt_bytes,
+    fail_always,
+    fail_every,
+    fail_first,
+    fail_once,
+    never_fail,
+    read_faults,
+    savez_faults,
+    tamper_npz_array,
+    voxelization_faults,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "fail_once",
+    "fail_first",
+    "fail_every",
+    "fail_always",
+    "never_fail",
+    "voxelization_faults",
+    "read_faults",
+    "savez_faults",
+    "corrupt_bytes",
+    "tamper_npz_array",
+]

@@ -1,0 +1,377 @@
+"""Fault-injection tests: every degradation path of ingest & persistence.
+
+Uses the deterministic harness in :mod:`repro.testing.faults` to make
+voxelization, file reads and ``np.savez`` fail on schedule, and asserts
+that error isolation, the retry ladder, atomic saves and tolerant loads
+all behave exactly as documented.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets.parts import make_part
+from repro.exceptions import IngestError, StorageError, VoxelizationError
+from repro.geometry.mesh import box_mesh
+from repro.geometry.sdf import Box
+from repro.io.database import ObjectDatabase, StoredObject
+from repro.io.stl import write_stl_binary
+from repro.normalize.pose import PoseInfo
+from repro.pipeline import Pipeline
+from repro.testing import (
+    corrupt_bytes,
+    fail_always,
+    fail_every,
+    fail_first,
+    fail_once,
+    never_fail,
+    read_faults,
+    savez_faults,
+    tamper_npz_array,
+    voxelization_faults,
+)
+from repro.voxel.voxelize import voxelize_solid
+
+
+@pytest.fixture
+def parts(rng):
+    families = ["tire", "bracket", "door", "wing"]
+    return [
+        make_part(family, rng, name=f"{family}-{index}", class_id=index)
+        for index, family in enumerate(families)
+    ]
+
+
+@pytest.fixture
+def pipeline():
+    return Pipeline(resolution=8)
+
+
+@pytest.fixture
+def mesh_dir(tmp_path):
+    """A mesh collection where 2 of 10 files (~20%) are corrupt."""
+    directory = tmp_path / "meshes"
+    directory.mkdir()
+    for index in range(8):
+        write_stl_binary(
+            box_mesh(size=(1.0 + 0.1 * index, 1.0, 0.5)),
+            directory / f"good{index}.stl",
+        )
+    (directory / "bad-short.stl").write_bytes(b"\x00" * 30)
+    (directory / "bad-index.off").write_text(
+        "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 7\n"
+    )
+    return directory
+
+
+def sample_database(n=3, resolution=8):
+    db = ObjectDatabase()
+    for index in range(n):
+        grid = voxelize_solid(
+            Box(size=(1.0 + 0.2 * index, 1.0, 0.5)), resolution=resolution
+        )
+        db.add(
+            StoredObject(
+                name=f"obj-{index}",
+                family="box",
+                class_id=index,
+                grid=grid,
+                pose=PoseInfo((1.0, 1.0, 1.0), (0.0, 0.0, 0.0)),
+            )
+        )
+    db.set_features("m", [np.full((2, 6), float(index)) for index in range(n)])
+    return db
+
+
+class TestSchedules:
+    def test_fail_once_fires_exactly_once(self):
+        schedule = fail_once(at=2)
+        assert [schedule.fire() for _ in range(4)] == [False, True, False, False]
+        assert schedule.calls == 4 and schedule.fired == 1
+
+    def test_fail_every_nth(self):
+        schedule = fail_every(3)
+        assert [schedule.fire() for _ in range(6)] == [
+            False, False, True, False, False, True,
+        ]
+
+    def test_fail_first_and_always_and_never(self):
+        assert [fail_first(2).fire() for _ in range(1)] == [True]
+        assert fail_always().fire() is True
+        assert never_fail().fire() is False
+
+
+class TestErrorIsolation:
+    def test_skip_isolates_the_failing_part(self, pipeline, parts):
+        with voxelization_faults(fail_once(at=2)) as schedule:
+            report = pipeline.process_parts(parts, on_error="skip")
+        assert schedule.fired == 1
+        assert len(report) == len(parts) - 1
+        assert [rec.status for rec in report.records] == ["ok", "failed", "ok", "ok"]
+        failure = report.failures[0]
+        assert failure.name == parts[1].name
+        assert failure.error_type == "VoxelizationError"
+        assert not report.all_ok()
+        with pytest.raises(IngestError):
+            report.raise_if_failed()
+
+    def test_raise_propagates_the_original_exception(self, pipeline, parts):
+        with voxelization_faults(fail_once(at=1)):
+            with pytest.raises(VoxelizationError, match="injected"):
+                pipeline.process_parts(parts, on_error="raise")
+
+    def test_default_policy_is_raise(self, pipeline, parts):
+        with voxelization_faults(fail_once(at=1)):
+            with pytest.raises(VoxelizationError):
+                pipeline.process_parts(parts)
+
+    def test_unknown_policy_rejected(self, pipeline, parts):
+        with pytest.raises(IngestError):
+            pipeline.process_parts(parts, on_error="ignore")
+
+    def test_report_is_sequence_compatible(self, pipeline, parts):
+        report = pipeline.process_parts(parts)
+        assert report.all_ok()
+        assert len(report) == len(parts)
+        assert report[0].name == parts[0].name
+        assert [obj.class_id for obj in report] == [0, 1, 2, 3]
+        assert report[:2][1].name == parts[1].name
+
+
+class TestRetryLadder:
+    def test_transient_fault_recovers_on_second_attempt(self, pipeline, parts):
+        with voxelization_faults(fail_once(at=1)) as schedule:
+            report = pipeline.process_parts(parts, on_error="retry")
+        assert report.all_ok()
+        first = report.records[0]
+        assert first.attempts == 2 and first.fallback == "supersample"
+        # the remaining parts succeeded first try
+        assert all(rec.attempts == 1 for rec in report.records[1:])
+        assert schedule.fired == 1
+
+    def test_persistent_fault_falls_back_to_reduced_resolution(self, pipeline, parts):
+        with voxelization_faults(fail_first(2)):
+            report = pipeline.process_parts(parts[:1], on_error="retry")
+        assert report.all_ok()
+        record = report.records[0]
+        assert record.attempts == 3 and record.fallback == "reduced-resolution"
+        assert report[0].grid.resolution == pipeline._reduced_resolution()
+
+    def test_ladder_exhaustion_records_failure(self, pipeline, parts):
+        with voxelization_faults(fail_always()):
+            report = pipeline.process_parts(parts[:2], on_error="retry")
+        assert len(report) == 0
+        assert all(rec.status == "failed" for rec in report.records)
+        assert all(rec.attempts == 3 for rec in report.records)
+
+    def test_records_carry_wall_time(self, pipeline, parts):
+        report = pipeline.process_parts(parts[:2])
+        assert all(rec.seconds >= 0.0 for rec in report.records)
+        assert report.total_seconds >= 0.0
+
+
+class TestMeshDirectoryIngest:
+    def test_skip_ingests_all_healthy_files(self, pipeline, mesh_dir):
+        report = pipeline.process_mesh_directory(mesh_dir, on_error="skip")
+        assert len(report) == 8
+        assert {rec.name for rec in report.failures} == {"bad-short", "bad-index"}
+        for failure in report.failures:
+            assert failure.error_type == "StorageError"
+            assert failure.source is not None
+        # class ids follow the sorted file list, stable across failures
+        assert [obj.name for obj in report] == [f"good{i}" for i in range(8)]
+
+    def test_raise_propagates_first_parser_error(self, pipeline, mesh_dir):
+        with pytest.raises(StorageError):
+            pipeline.process_mesh_directory(mesh_dir, on_error="raise")
+
+    def test_transient_read_fault_cleared_by_retry(self, pipeline, tmp_path):
+        directory = tmp_path / "clean"
+        directory.mkdir()
+        for index in range(3):
+            write_stl_binary(box_mesh(), directory / f"p{index}.stl")
+        with read_faults(fail_once(at=1)) as schedule:
+            report = pipeline.process_mesh_directory(directory, on_error="retry")
+        assert report.all_ok()
+        assert report.records[0].attempts == 2
+        assert schedule.fired == 1
+
+    def test_read_fault_skipped_without_retry(self, pipeline, tmp_path):
+        directory = tmp_path / "clean"
+        directory.mkdir()
+        for index in range(3):
+            write_stl_binary(box_mesh(), directory / f"p{index}.stl")
+        with read_faults(fail_once(at=1)):
+            report = pipeline.process_mesh_directory(directory, on_error="skip")
+        assert len(report) == 2
+        assert report.failures[0].error_type == "StorageError"
+
+    def test_missing_directory_raises_storage_error(self, pipeline, tmp_path):
+        with pytest.raises(StorageError):
+            pipeline.process_mesh_directory(tmp_path / "nope")
+
+
+class TestAtomicSave:
+    def test_interrupted_save_preserves_existing_database(self, tmp_path):
+        db = sample_database()
+        path = tmp_path / "db.npz"
+        db.save(path)
+        before = path.read_bytes()
+        with savez_faults(fail_once()):
+            with pytest.raises(StorageError, match="injected"):
+                db.save(path)
+        assert path.read_bytes() == before  # byte-for-byte untouched
+        assert len(ObjectDatabase.load(path)) == 3
+        # no temp-file litter either
+        assert [p.name for p in tmp_path.iterdir()] == ["db.npz"]
+
+    def test_interrupted_first_save_leaves_no_file(self, tmp_path):
+        db = sample_database()
+        path = tmp_path / "fresh.npz"
+        with savez_faults(fail_once()):
+            with pytest.raises(StorageError):
+                db.save(path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_grid_is_atomic_too(self, tmp_path, tire_grid):
+        from repro.io.vox import load_grid, save_grid
+
+        path = tmp_path / "grid.npz"
+        save_grid(tire_grid, path)
+        before = path.read_bytes()
+        with savez_faults(fail_once()):
+            with pytest.raises(StorageError):
+                save_grid(tire_grid, path)
+        assert path.read_bytes() == before
+        assert load_grid(path) == tire_grid
+
+
+class TestTolerantLoad:
+    def test_strict_load_rejects_corrupted_record(self, tmp_path):
+        db = sample_database()
+        path = tmp_path / "db.npz"
+        db.save(path)
+        tamper_npz_array(path, "grid_1")
+        with pytest.raises(StorageError, match="checksum"):
+            ObjectDatabase.load(path)
+
+    def test_tolerant_load_skips_exactly_the_corrupted_record(self, tmp_path):
+        db = sample_database()
+        path = tmp_path / "db.npz"
+        db.save(path)
+        tamper_npz_array(path, "grid_1")
+        loaded = ObjectDatabase.load(path, strict=False)
+        assert len(loaded) == 2
+        assert loaded.names() == ["obj-0", "obj-2"]
+        assert len(loaded.skipped) == 1
+        skip = loaded.skipped[0]
+        assert skip.index == 1 and skip.name == "obj-1"
+        assert skip.error_type == "StorageError"
+        assert "checksum" in skip.error
+
+    def test_tampered_features_detected(self, tmp_path):
+        db = sample_database()
+        path = tmp_path / "db.npz"
+        db.save(path)
+        tamper_npz_array(path, "feat_0_m")
+        loaded = ObjectDatabase.load(path, strict=False)
+        assert len(loaded) == 2
+        assert loaded.skipped[0].name == "obj-0"
+
+    def test_container_level_corruption_still_raises(self, tmp_path):
+        db = sample_database()
+        path = tmp_path / "db.npz"
+        db.save(path)
+        corrupt_bytes(path, offset=-40, count=24)  # hits the central directory
+        with pytest.raises(StorageError):
+            ObjectDatabase.load(path, strict=False)
+
+    def test_format_v1_files_still_load(self, tmp_path):
+        """Databases written before checksums (meta = bare list) load fine."""
+        db = sample_database()
+        path = tmp_path / "v2.npz"
+        db.save(path)
+        import json
+
+        with np.load(path) as data:
+            arrays = {name: np.asarray(data[name]) for name in data.files}
+        meta = json.loads(bytes(arrays["meta"]).decode())
+        v1_records = [
+            {key: value for key, value in record.items() if key != "checksum"}
+            for record in meta["records"]
+        ]
+        arrays["meta"] = np.frombuffer(
+            json.dumps(v1_records).encode(), dtype=np.uint8
+        )
+        v1_path = tmp_path / "v1.npz"
+        with open(v1_path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        loaded = ObjectDatabase.load(v1_path)
+        assert len(loaded) == 3 and not loaded.skipped
+
+    def test_future_format_version_rejected(self, tmp_path):
+        import json
+
+        db = sample_database(n=1)
+        path = tmp_path / "db.npz"
+        db.save(path)
+        with np.load(path) as data:
+            arrays = {name: np.asarray(data[name]) for name in data.files}
+        meta = json.loads(bytes(arrays["meta"]).decode())
+        meta["format_version"] = 99
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        with pytest.raises(StorageError, match="format version"):
+            ObjectDatabase.load(path)
+
+
+class TestCliSurfacing:
+    def test_partial_success_exits_3_and_prints_report(
+        self, mesh_dir, tmp_path, capsys
+    ):
+        out = tmp_path / "db.npz"
+        code = main(
+            ["ingest", "--meshes", str(mesh_dir), "--out", str(out),
+             "--resolution", "8"]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "8/10 objects ingested" in captured.err
+        assert "bad-short" in captured.err and "bad-index" in captured.err
+        assert "ingested 8 objects" in captured.out
+        assert len(ObjectDatabase.load(out)) == 8
+
+    def test_strict_flag_exits_1_on_first_bad_file(self, mesh_dir, tmp_path):
+        code = main(
+            ["ingest", "--meshes", str(mesh_dir), "--strict",
+             "--out", str(tmp_path / "db.npz"), "--resolution", "8"]
+        )
+        assert code == 1
+
+    def test_on_error_retry_accepted(self, tmp_path, capsys):
+        directory = tmp_path / "clean"
+        directory.mkdir()
+        for index in range(2):
+            write_stl_binary(box_mesh(), directory / f"p{index}.stl")
+        code = main(
+            ["ingest", "--meshes", str(directory), "--on-error", "retry",
+             "--out", str(tmp_path / "db.npz"), "--resolution", "8"]
+        )
+        assert code == 0
+        assert "ingested 2 objects" in capsys.readouterr().out
+
+    def test_all_bad_exits_2_without_writing(self, tmp_path, capsys):
+        directory = tmp_path / "allbad"
+        directory.mkdir()
+        (directory / "a.stl").write_bytes(b"junk")
+        (directory / "b.stl").write_bytes(b"\x00" * 10)
+        out = tmp_path / "db.npz"
+        code = main(
+            ["ingest", "--meshes", str(directory), "--out", str(out),
+             "--resolution", "8"]
+        )
+        assert code == 2
+        assert not out.exists()
+        assert "nothing ingested" in capsys.readouterr().err
