@@ -8,6 +8,8 @@ Commands
 ``cluster``     OPTICS-cluster a database and render the reachability plot
 ``experiment``  run one of the paper's experiments (table1, table2, figures)
 ``info``        show database statistics
+``bench``       time the batched minimal-matching kernels against the
+                per-pair baseline on a seeded synthetic workload
 
 Examples
 --------
@@ -87,6 +89,13 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--covers", type=int, default=7)
     cluster.add_argument("--eps", type=float, help="cut level (default: auto)")
     cluster.add_argument("--height", type=int, default=10)
+    cluster.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the pairwise distance matrix "
+        "(default: serial; -1 for all cores)",
+    )
 
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument(
@@ -98,6 +107,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="database statistics")
     info.add_argument("database", type=Path)
+
+    bench = commands.add_parser(
+        "bench", help="batched vs per-pair kernel benchmark (writes JSON)"
+    )
+    bench.add_argument("--n", type=int, default=1000, help="database size")
+    bench.add_argument("--k", type=int, default=7, help="set cardinality bound")
+    bench.add_argument("--dim", type=int, default=6, help="feature dimension")
+    bench.add_argument("--queries", type=int, default=10, help="k-nn query count")
+    bench.add_argument("--seed", type=int, default=20030609)
+    bench.add_argument("--out", type=Path, default=Path("BENCH_PR2.json"))
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny workload for CI smoke runs (overrides --n/--k)",
+    )
     return parser
 
 
@@ -214,23 +238,22 @@ def cmd_query(args) -> int:
 
 
 def cmd_cluster(args) -> int:
-    from repro.clustering.optics import distance_rows_from_matrix, optics
-    from repro.clustering.reachability import extract_clusters, render_reachability_plot
-    from repro.core.min_matching import min_matching_distance
-    from repro.pipeline import pairwise_distance_matrix
+    from repro.clustering.optics import distance_rows_from_sets, optics
+    from repro.clustering.reachability import (
+        auto_cut_level,
+        extract_clusters,
+        render_reachability_plot,
+    )
 
     database, sets, _ = _open_engine(args.database, args.covers)
-    matrix = pairwise_distance_matrix(sets, min_matching_distance)
-    ordering = optics(len(sets), distance_rows_from_matrix(matrix), min_pts=args.min_pts)
+    rows = distance_rows_from_sets(sets, capacity=args.covers, n_jobs=args.jobs)
+    ordering = optics(len(sets), rows, min_pts=args.min_pts)
     print(render_reachability_plot(
         ordering, height=args.height, max_width=110,
         title=f"{args.database.name} — vector set model (k={args.covers})",
     ))
 
-    eps = args.eps
-    if eps is None:
-        finite = ordering.reachability[np.isfinite(ordering.reachability)]
-        eps = float(np.quantile(finite, 0.4)) if len(finite) else 0.0
+    eps = args.eps if args.eps is not None else auto_cut_level(ordering)
     clusters, noise = extract_clusters(ordering, eps)
     print(f"\ncut at eps={eps:.4f}: {len(clusters)} clusters, {len(noise)} noise")
     for index, members in enumerate(clusters):
@@ -282,6 +305,95 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Time the batched kernels against the per-pair baseline.
+
+    Runs on a seeded synthetic workload shaped like the paper's data
+    (ragged sets of up to k d-dimensional vectors), verifies that both
+    paths agree, and writes one JSON record per operation with wall
+    times and the speedup factor.
+    """
+    import json
+    import time
+
+    from repro.core.batch import PackedSets, match_many, pairwise_matrix
+    from repro.core.min_matching import min_matching_distance
+    from repro.core.queries import FilterRefineEngine
+    from repro.pipeline import pairwise_distance_matrix
+
+    n, k = (60, 5) if args.quick else (args.n, args.k)
+    dim = args.dim
+    rng = np.random.default_rng(args.seed)
+    sets = [
+        rng.standard_normal((int(rng.integers(1, k + 1)), dim)) for _ in range(n)
+    ]
+    n_queries = min(args.queries, n)
+    records = []
+
+    def record(op: str, per_pair: float, batched: float, **extra) -> None:
+        entry = {
+            "op": op,
+            "n": n,
+            "k": k,
+            "dim": dim,
+            "per_pair_seconds": round(per_pair, 6),
+            "batched_seconds": round(batched, 6),
+            "speedup": round(per_pair / batched, 2) if batched else float("inf"),
+            **extra,
+        }
+        records.append(entry)
+        print(
+            f"{op:20} per-pair {entry['per_pair_seconds']:>10.3f}s   "
+            f"batched {entry['batched_seconds']:>10.3f}s   "
+            f"speedup {entry['speedup']:.1f}x"
+        )
+
+    # Full pairwise distance matrix (the OPTICS workload).
+    start = time.perf_counter()
+    matrix_batch = pairwise_matrix(sets, capacity=k)
+    batched = time.perf_counter() - start
+    start = time.perf_counter()
+    matrix_pp = pairwise_distance_matrix(sets, min_matching_distance)
+    per_pair = time.perf_counter() - start
+    if not np.allclose(matrix_batch, matrix_pp, atol=1e-9):
+        raise ReproError("batched pairwise matrix disagrees with per-pair baseline")
+    record("pairwise_matrix", per_pair, batched, pairs=n * (n - 1) // 2)
+
+    # Sequential-scan k-nn (the Table 2 baseline row).
+    engine = FilterRefineEngine(sets, capacity=k)
+    engine_pp = FilterRefineEngine(
+        sets, capacity=k, exact_distance=min_matching_distance
+    )
+    queries = sets[:n_queries]
+    start = time.perf_counter()
+    results_batch = [engine.knn_sequential(q, 10)[0] for q in queries]
+    batched = time.perf_counter() - start
+    start = time.perf_counter()
+    results_pp = [engine_pp.knn_sequential(q, 10)[0] for q in queries]
+    per_pair = time.perf_counter() - start
+    for got, expected in zip(results_batch, results_pp):
+        if [m.object_id for m in got] != [m.object_id for m in expected]:
+            raise ReproError("batched knn_sequential disagrees with per-pair baseline")
+    record("knn_sequential", per_pair, batched, queries=n_queries)
+
+    # One query against the whole database (the refinement kernel).
+    packed = PackedSets.pack(sets, capacity=k)
+    query = sets[0]
+    start = time.perf_counter()
+    dists_batch = match_many(query, packed)
+    batched = time.perf_counter() - start
+    start = time.perf_counter()
+    dists_pp = np.array([min_matching_distance(query, s) for s in sets])
+    per_pair = time.perf_counter() - start
+    if not np.allclose(dists_batch, dists_pp, atol=1e-9):
+        raise ReproError("match_many disagrees with per-pair baseline")
+    record("match_many", per_pair, batched)
+
+    args.out.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
 def cmd_info(args) -> int:
     from repro.io.database import ObjectDatabase
 
@@ -309,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": cmd_cluster,
         "experiment": cmd_experiment,
         "info": cmd_info,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -70,15 +70,65 @@ def distance_rows_from_matrix(matrix: np.ndarray) -> DistanceRows:
 
 
 def distance_rows_from_function(
-    objects: Sequence, distance: Callable[[object, object], float]
+    objects: Sequence,
+    distance: Callable[[object, object], float],
+    max_cache_rows: int = 0,
 ) -> DistanceRows:
-    """Adapt a pairwise distance function to the row API (no caching)."""
+    """Adapt a pairwise distance function to the row API.
 
-    def rows(i: int) -> np.ndarray:
+    With *max_cache_rows* > 0, up to that many most-recently-used rows
+    are kept in memory — useful when a caller (or a wrapped statistics
+    collector) revisits rows, without ever materializing the full
+    O(n^2) matrix.  OPTICS itself requests each row exactly once, so the
+    cache defaults to off.
+    """
+
+    def compute(i: int) -> np.ndarray:
         anchor = objects[i]
         return np.array([distance(anchor, other) for other in objects])
 
+    if max_cache_rows <= 0:
+        return compute
+
+    from collections import OrderedDict
+
+    cache: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    def rows(i: int) -> np.ndarray:
+        if i in cache:
+            cache.move_to_end(i)
+            return cache[i]
+        row = compute(i)
+        cache[i] = row
+        if len(cache) > max_cache_rows:
+            cache.popitem(last=False)
+        return row
+
     return rows
+
+
+def distance_rows_from_sets(
+    sets: Sequence,
+    capacity: int | None = None,
+    omega: np.ndarray | None = None,
+    n_jobs: int | None = None,
+    backend: str = "lockstep",
+) -> DistanceRows:
+    """Row API over vector sets via the batched minimal-matching kernel.
+
+    Computes the full symmetric matrix once through
+    :func:`repro.core.batch.pairwise_matrix` (chunked batches, symmetric
+    halving, optional process fan-out via *n_jobs*) and serves rows from
+    it — for vector-set OPTICS runs this replaces n per-pair Python
+    loops with a handful of vectorized kernel calls.
+    """
+    from repro.core.batch import pairwise_matrix
+
+    return distance_rows_from_matrix(
+        pairwise_matrix(
+            sets, capacity=capacity, omega=omega, backend=backend, n_jobs=n_jobs
+        )
+    )
 
 
 def optics(

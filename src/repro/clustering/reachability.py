@@ -49,6 +49,24 @@ def extract_clusters(
     return [c for c in clusters if c], noise
 
 
+def auto_cut_level(ordering: ClusterOrdering, quantile: float = 0.4) -> float:
+    """Default cut level: a quantile of the finite reachability values.
+
+    The 0.4 quantile sits below the typical inter-cluster ridges while
+    staying above the valley floors, which makes it a serviceable
+    automatic ``eps`` for :func:`extract_clusters` when the caller has
+    not inspected the plot.  Returns ``0.0`` when every reachability
+    value is infinite (all objects are isolated at the generating
+    distance).
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ReproError("quantile must be in [0, 1]")
+    finite = ordering.reachability[np.isfinite(ordering.reachability)]
+    if not len(finite):
+        return 0.0
+    return float(np.quantile(finite, quantile))
+
+
 def cut_levels(ordering: ClusterOrdering, n_levels: int = 20) -> np.ndarray:
     """Candidate eps cuts: quantiles of the finite reachability values."""
     finite = ordering.reachability[np.isfinite(ordering.reachability)]

@@ -12,9 +12,19 @@ This subpackage implements Section 4 of the paper:
 * :mod:`repro.core.centroid` — extended centroids and the Lemma 2 lower
   bound used as a filter step,
 * :mod:`repro.core.queries` — filter-and-refine ε-range and optimal
-  multi-step k-nn query processing.
+  multi-step k-nn query processing,
+* :mod:`repro.core.batch` — batched minimal-matching kernels over
+  omega-padded packed tensors, with a lockstep batched Hungarian and
+  a parallel pairwise-distance engine.
 """
 
+from repro.core.batch import (
+    PackedSets,
+    hungarian_batch,
+    match_many,
+    match_pairs,
+    pairwise_matrix,
+)
 from repro.core.centroid import (
     centroid_lower_bound,
     extended_centroid,
@@ -54,4 +64,9 @@ __all__ = [
     "FilterRefineEngine",
     "QueryStats",
     "incremental_ranking",
+    "PackedSets",
+    "hungarian_batch",
+    "match_many",
+    "match_pairs",
+    "pairwise_matrix",
 ]

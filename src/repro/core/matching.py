@@ -24,54 +24,83 @@ from repro.exceptions import DistanceError
 _SCALAR_CUTOFF = 16
 
 
+class ScalarHungarianSolver:
+    """Buffer-reusing scalar Kuhn–Munkres for repeated same-size problems.
+
+    The batched kernels (:mod:`repro.core.batch`) solve thousands of
+    ``k x k`` assignments back to back; allocating the six working lists
+    per problem would dominate the O(k^3) arithmetic at the paper's
+    k <= 9.  This solver allocates them once and re-initializes in place
+    on every :meth:`solve_rows` call.
+    """
+
+    def __init__(self, n: int):
+        self.n = n
+        self._u = [0.0] * (n + 1)
+        self._v = [0.0] * (n + 1)
+        self._match_row = [0] * (n + 1)
+        self._way = [0] * (n + 1)
+        self._min_reduced = [0.0] * (n + 1)
+        self._used = [False] * (n + 1)
+
+    def solve_rows(self, rows: list, assignment: np.ndarray) -> None:
+        """Solve one problem given as a list of row lists; the column
+        assigned to each row is written into *assignment* in place."""
+        n = self.n
+        infinity = float("inf")
+        u, v = self._u, self._v
+        match_row, way = self._match_row, self._way
+        min_reduced, used = self._min_reduced, self._used
+        for j in range(n + 1):
+            u[j] = 0.0
+            v[j] = 0.0
+            match_row[j] = 0
+        for row_index in range(1, n + 1):
+            match_row[0] = row_index
+            j0 = 0
+            for j in range(n + 1):
+                min_reduced[j] = infinity
+                used[j] = False
+            while True:
+                used[j0] = True
+                i0 = match_row[j0]
+                row = rows[i0 - 1]
+                u_i0 = u[i0]
+                delta = infinity
+                j1 = -1
+                for j in range(1, n + 1):
+                    if not used[j]:
+                        current = row[j - 1] - u_i0 - v[j]
+                        if current < min_reduced[j]:
+                            min_reduced[j] = current
+                            way[j] = j0
+                        if min_reduced[j] < delta:
+                            delta = min_reduced[j]
+                            j1 = j
+                for j in range(n + 1):
+                    if used[j]:
+                        u[match_row[j]] += delta
+                        v[j] -= delta
+                    else:
+                        min_reduced[j] -= delta
+                j0 = j1
+                if match_row[j0] == 0:
+                    break
+            while j0:
+                j1 = way[j0]
+                match_row[j0] = match_row[j1]
+                j0 = j1
+        for j in range(1, n + 1):
+            assignment[match_row[j] - 1] = j - 1
+
+
 def _hungarian_scalar(cost: np.ndarray) -> np.ndarray:
     """Scalar Kuhn–Munkres for small matrices (same algorithm as
     :func:`_hungarian_own`, plain Python floats instead of numpy rows —
     roughly 10x faster for the paper's k <= 9 cover sets)."""
     n = len(cost)
-    rows = cost.tolist()
-    infinity = float("inf")
-    u = [0.0] * (n + 1)
-    v = [0.0] * (n + 1)
-    match_row = [0] * (n + 1)
-    way = [0] * (n + 1)
-    for row_index in range(1, n + 1):
-        match_row[0] = row_index
-        j0 = 0
-        min_reduced = [infinity] * (n + 1)
-        used = [False] * (n + 1)
-        while True:
-            used[j0] = True
-            i0 = match_row[j0]
-            row = rows[i0 - 1]
-            u_i0 = u[i0]
-            delta = infinity
-            j1 = -1
-            for j in range(1, n + 1):
-                if not used[j]:
-                    current = row[j - 1] - u_i0 - v[j]
-                    if current < min_reduced[j]:
-                        min_reduced[j] = current
-                        way[j] = j0
-                    if min_reduced[j] < delta:
-                        delta = min_reduced[j]
-                        j1 = j
-            for j in range(n + 1):
-                if used[j]:
-                    u[match_row[j]] += delta
-                    v[j] -= delta
-                else:
-                    min_reduced[j] -= delta
-            j0 = j1
-            if match_row[j0] == 0:
-                break
-        while j0:
-            j1 = way[j0]
-            match_row[j0] = match_row[j1]
-            j0 = j1
     assignment = np.empty(n, dtype=int)
-    for j in range(1, n + 1):
-        assignment[match_row[j] - 1] = j - 1
+    ScalarHungarianSolver(n).solve_rows(cost.tolist(), assignment)
     return assignment
 
 

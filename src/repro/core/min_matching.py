@@ -31,16 +31,39 @@ DistanceFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 WeightFn = Callable[[np.ndarray], np.ndarray]
 
 
+def squared_euclidean_cross(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances via the Gram-matrix identity
+    ``||x||^2 + ||y||^2 - 2 x.y``, clipped at zero.
+
+    This avoids the O(m*n*d) broadcast temporary of the textbook form
+    and the sqrt-of-negative risk from cancellation.  All dot products
+    go through ``np.einsum``, whose fixed summation order makes the
+    result independent of batch shape — in particular ``x == y`` rows
+    cancel to *exactly* zero, which the query engine relies on for
+    self-distances (a BLAS matmul does not guarantee this).
+    """
+    x_sq = np.einsum("ij,ij->i", x, x)
+    y_sq = np.einsum("ij,ij->i", y, y)
+    sq = x_sq[:, np.newaxis] + y_sq[np.newaxis, :] - 2.0 * np.einsum("id,jd->ij", x, y)
+    np.maximum(sq, 0.0, out=sq)
+    return sq
+
+
 def euclidean_cross(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     """Pairwise Euclidean distances: ``(m, d) x (n, d) -> (m, n)``."""
-    diff = x[:, np.newaxis, :] - y[np.newaxis, :, :]
-    return np.sqrt(np.sum(diff * diff, axis=2))
+    sq = squared_euclidean_cross(x, y)
+    return np.sqrt(sq, out=sq)
 
 
-def squared_euclidean_cross(x: np.ndarray, y: np.ndarray) -> np.ndarray:
-    """Pairwise squared Euclidean distances."""
+def squared_euclidean_cross_reference(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """The pre-Gram broadcast form, kept as a test oracle only."""
     diff = x[:, np.newaxis, :] - y[np.newaxis, :, :]
     return np.sum(diff * diff, axis=2)
+
+
+def euclidean_cross_reference(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """The pre-Gram broadcast form, kept as a test oracle only."""
+    return np.sqrt(squared_euclidean_cross_reference(x, y))
 
 
 def manhattan_cross(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -67,13 +90,22 @@ def resolve_distance(dist: str | DistanceFn) -> DistanceFn:
         ) from None
 
 
-def _as_array(vectors: np.ndarray | VectorSet) -> np.ndarray:
+def as_set_array(vectors: np.ndarray | VectorSet) -> np.ndarray:
+    """Coerce a raw array or :class:`VectorSet` to a validated float
+    ``(m, d)`` array (shared by every set-distance entry point)."""
     if isinstance(vectors, VectorSet):
-        return np.asarray(vectors.vectors)
-    arr = np.asarray(vectors, dtype=float)
+        arr = np.asarray(vectors.vectors, dtype=float)
+    else:
+        arr = np.asarray(vectors, dtype=float)
+    # VectorSet validates on construction, but frozen dataclasses can be
+    # bypassed — enforce the same contract on both branches.
     if arr.ndim != 2 or not len(arr):
         raise DistanceError(f"expected a non-empty (m, d) array, got shape {arr.shape}")
     return arr
+
+
+# Backwards-compatible private alias.
+_as_array = as_set_array
 
 
 @dataclass(frozen=True)
@@ -156,7 +188,10 @@ def min_matching_match(
     unmatched = np.nonzero(assignment >= n)[0]
     if swapped:
         pairs = pairs[:, ::-1]
-    is_identity = bool(np.all(pairs[:, 0] == pairs[:, 1]))
+    # An empty matching is vacuously not the identity alignment
+    # (``np.all`` of an empty array is True, which would miscount it as
+    # a non-permutation in the Table 1 statistics).
+    is_identity = bool(len(pairs)) and bool(np.all(pairs[:, 0] == pairs[:, 1]))
     return MatchResult(distance=total, pairs=pairs, unmatched=unmatched, is_identity=is_identity)
 
 

@@ -24,15 +24,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.matching import hungarian
-from repro.core.min_matching import DistanceFn, resolve_distance
+from repro.core.min_matching import DistanceFn, as_set_array, resolve_distance
 from repro.exceptions import DistanceError
 
 
 def _cross(x, y, dist: str | DistanceFn) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    arr_x = np.asarray(x, dtype=float)
-    arr_y = np.asarray(y, dtype=float)
-    if arr_x.ndim != 2 or arr_y.ndim != 2 or not len(arr_x) or not len(arr_y):
-        raise DistanceError("set distances need non-empty (m, d) arrays")
+    # Shared validation with the minimal matching distance (accepts raw
+    # arrays and VectorSet alike); the Euclidean variants resolve to the
+    # Gram-identity kernel of repro.core.min_matching — no (m, n, d)
+    # broadcast temporaries.
+    arr_x = as_set_array(x)
+    arr_y = as_set_array(y)
     if arr_x.shape[1] != arr_y.shape[1]:
         raise DistanceError("dimension mismatch between sets")
     return arr_x, arr_y, resolve_distance(dist)(arr_x, arr_y)

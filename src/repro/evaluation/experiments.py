@@ -16,7 +16,6 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.min_matching import min_matching_match
 from repro.core.permutation import permutation_distance_via_matching
 from repro.datasets.aircraft import default_aircraft_size, make_aircraft_dataset
 from repro.datasets.car import make_car_dataset
@@ -168,6 +167,7 @@ def distance_matrix_for(
     kind: str,
     cache_tag: str | None = None,
     use_cache: bool = True,
+    n_jobs: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Pairwise distances (and permutation flags for matching kinds).
 
@@ -176,9 +176,12 @@ def distance_matrix_for(
     kind:
         ``"euclidean"`` — flat feature vectors, vectorized;
         ``"matching"`` — minimal matching distance on vector sets
-        (Euclidean elements, norm weights);
+        (Euclidean elements, norm weights), computed through the batched
+        kernel of :mod:`repro.core.batch`;
         ``"permutation"`` — minimum Euclidean distance under permutation
         computed via the matching reduction.
+    n_jobs:
+        Worker processes for the ``"matching"`` kind (default: serial).
 
     Returns
     -------
@@ -197,16 +200,14 @@ def distance_matrix_for(
     flags: np.ndarray | None = None
 
     if kind == "euclidean":
+        from repro.core.min_matching import euclidean_cross
+
         flat = np.vstack([np.asarray(f, dtype=float).ravel() for f in features])
-        diff = flat[:, np.newaxis, :] - flat[np.newaxis, :, :]
-        matrix = np.sqrt(np.sum(diff * diff, axis=2))
+        matrix = euclidean_cross(flat, flat)
     elif kind == "matching":
-        flags = np.zeros((n, n), dtype=bool)
-        for i in range(n):
-            for j in range(i + 1, n):
-                result = min_matching_match(features[i], features[j])
-                matrix[i, j] = matrix[j, i] = result.distance
-                flags[i, j] = flags[j, i] = not result.is_identity
+        from repro.core.batch import pairwise_matrix
+
+        matrix, flags = pairwise_matrix(features, n_jobs=n_jobs, return_flags=True)
     elif kind == "permutation":
         flags = np.zeros((n, n), dtype=bool)
         for i in range(n):

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import PackedSets, match_many
 from repro.core.centroid import extended_centroid
 from repro.core.min_matching import min_matching_distance
 from repro.evaluation.experiments import extract_features, prepare_dataset
@@ -205,25 +206,26 @@ def run_vector_set_scan(
     """Method 3: sequential scan with exact matching for every object.
 
     Each query reads the whole vector-set file once (the variants then
-    operate in memory) and computes ``variants * n`` matching distances.
+    operate in memory) and computes ``variants * n`` matching distances
+    — one batched kernel call per variant against the database packed
+    once up front, with the per-object minimum over variants merged via
+    ``np.minimum``.
     """
     pages = PageManager()
     total_bytes = sum(len(s) * 6 * 8 for s in sets)
+    packed = PackedSets.pack(sets)
 
     computations = 0
     results = []
     start = time.perf_counter()
     for qid in queries:
         pages.read_bytes(total_bytes)
-        best: dict[int, float] = {}
+        best = np.full(len(sets), np.inf)
         for variant in _query_variants(sets[qid], variants):
-            for oid, candidate in enumerate(sets):
-                computations += 1
-                dist = min_matching_distance(variant, candidate)
-                if oid not in best or dist < best[oid]:
-                    best[oid] = dist
-        top = sorted(best.items(), key=lambda kv: (kv[1], kv[0]))[:k_nn]
-        results.append(top)
+            computations += len(sets)
+            np.minimum(best, match_many(variant, packed), out=best)
+        order = np.lexsort((np.arange(len(sets)), best))[:k_nn]
+        results.append([(int(oid), float(best[oid])) for oid in order])
     cpu = time.perf_counter() - start
     cost = pages.reset()
     row = Table2Row(

@@ -81,6 +81,11 @@ class TestClusterAndInfo:
         assert "reachability" in out
         assert "cut at eps" in out
 
+    def test_cluster_parallel_jobs(self, car_db, capsys):
+        code = main(["cluster", str(car_db), "--min-pts", "3", "--jobs", "2"])
+        assert code == 0
+        assert "cut at eps" in capsys.readouterr().out
+
     def test_info(self, car_db, capsys):
         code = main(["info", str(car_db)])
         assert code == 0
@@ -94,3 +99,20 @@ class TestExperiment:
         code = main(["experiment", "fig5"])
         assert code == 0
         assert "reachability" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_quick_bench_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        code = main(["bench", "--quick", "--out", str(out)])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+        records = json.loads(out.read_text())
+        ops = {record["op"] for record in records}
+        assert ops == {"pairwise_matrix", "knn_sequential", "match_many"}
+        for record in records:
+            assert record["batched_seconds"] > 0
+            assert record["per_pair_seconds"] > 0
+            assert record["speedup"] > 0

@@ -8,6 +8,7 @@ from repro.clustering.optics import (
     ClusterOrdering,
     distance_rows_from_function,
     distance_rows_from_matrix,
+    distance_rows_from_sets,
     optics,
 )
 from repro.clustering.quality import (
@@ -17,6 +18,7 @@ from repro.clustering.quality import (
     structure_contrast,
 )
 from repro.clustering.reachability import (
+    auto_cut_level,
     cut_levels,
     extract_clusters,
     render_reachability_plot,
@@ -91,6 +93,48 @@ class TestOptics:
         )
         assert np.allclose(rows_fn(0), np.linalg.norm(points - points[0], axis=1))
 
+    def test_distance_rows_from_function_lru_cache(self, rng):
+        points, _ = blobs(rng, [(0, 0)], n_per=10, n_noise=0)
+        calls = []
+
+        def distance(a, b):
+            calls.append(1)
+            return float(np.linalg.norm(a - b))
+
+        rows_fn = distance_rows_from_function(
+            list(points), distance, max_cache_rows=2
+        )
+        first = rows_fn(0)
+        assert np.array_equal(rows_fn(0), first)  # served from cache
+        assert len(calls) == len(points)
+        rows_fn(1)
+        rows_fn(2)  # evicts row 0 (LRU, capacity 2)
+        calls.clear()
+        rows_fn(0)
+        assert len(calls) == len(points)
+
+    def test_distance_rows_from_sets_matches_per_pair(self, rng):
+        from repro.core.min_matching import min_matching_distance
+
+        sets = [rng.normal(size=(rng.integers(1, 5), 4)) for _ in range(12)]
+        rows_fn = distance_rows_from_sets(sets)
+        for i in (0, 5, 11):
+            reference = [min_matching_distance(sets[i], s) for s in sets]
+            assert np.allclose(rows_fn(i), reference, atol=1e-9)
+
+    def test_optics_on_sets_matches_matrix_path(self, rng):
+        from repro.core.min_matching import min_matching_distance
+
+        sets = [rng.normal(size=(rng.integers(1, 5), 4)) for _ in range(20)]
+        via_sets = optics(len(sets), distance_rows_from_sets(sets), min_pts=3)
+        matrix = np.zeros((20, 20))
+        for i in range(20):
+            for j in range(i + 1, 20):
+                matrix[i, j] = matrix[j, i] = min_matching_distance(sets[i], sets[j])
+        via_matrix = optics(len(sets), distance_rows_from_matrix(matrix), min_pts=3)
+        assert np.array_equal(via_sets.order, via_matrix.order)
+        assert np.allclose(via_sets.reachability, via_matrix.reachability, atol=1e-9)
+
     def test_deterministic(self, blob_ordering, rng):
         ordering, labels, matrix = blob_ordering
         again = optics(len(labels), distance_rows_from_matrix(matrix), min_pts=5)
@@ -151,6 +195,26 @@ class TestReachabilityPlot:
         ordering, _, _ = blob_ordering
         levels = cut_levels(ordering, 10)
         assert np.all(np.diff(levels) > 0)
+
+    def test_auto_cut_level_is_interior_quantile(self, blob_ordering):
+        ordering, _, _ = blob_ordering
+        finite = ordering.reachability[np.isfinite(ordering.reachability)]
+        level = auto_cut_level(ordering)
+        assert finite.min() <= level <= finite.max()
+        assert level == pytest.approx(float(np.quantile(finite, 0.4)))
+
+    def test_auto_cut_level_all_infinite(self):
+        ordering = ClusterOrdering(
+            order=np.arange(3),
+            reachability=np.full(3, np.inf),
+            core_distances=np.full(3, np.inf),
+        )
+        assert auto_cut_level(ordering) == 0.0
+
+    def test_auto_cut_level_validates_quantile(self, blob_ordering):
+        ordering, _, _ = blob_ordering
+        with pytest.raises(ReproError):
+            auto_cut_level(ordering, quantile=1.5)
 
     def test_validation(self, blob_ordering):
         ordering, _, _ = blob_ordering

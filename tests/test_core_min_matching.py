@@ -7,12 +7,15 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.core.min_matching import (
+    as_set_array,
     euclidean_cross,
+    euclidean_cross_reference,
     manhattan_cross,
     min_matching_distance,
     min_matching_match,
     resolve_distance,
     squared_euclidean_cross,
+    squared_euclidean_cross_reference,
     vector_set_distance,
 )
 from repro.core.vector_set import VectorSet
@@ -44,6 +47,58 @@ class TestCrossDistances:
         assert resolve_distance("euclidean") is euclidean_cross
         with pytest.raises(DistanceError):
             resolve_distance("chebyshov")
+
+    def test_gram_form_matches_broadcast_reference(self, rng):
+        """The Gram-identity kernel agrees with the pre-optimization
+        broadcast form, kept as an oracle."""
+        for _ in range(10):
+            x = rng.normal(size=(rng.integers(1, 9), 5)) * 10
+            y = rng.normal(size=(rng.integers(1, 9), 5)) * 10
+            assert np.allclose(
+                squared_euclidean_cross(x, y),
+                squared_euclidean_cross_reference(x, y),
+                atol=1e-9,
+            )
+            assert np.allclose(
+                euclidean_cross(x, y), euclidean_cross_reference(x, y), atol=1e-9
+            )
+
+    def test_gram_form_never_negative(self, rng):
+        """Cancellation in ||x||^2 + ||y||^2 - 2 x.y can go below zero for
+        near-identical rows; the clip must absorb it before the sqrt."""
+        x = rng.normal(size=(50, 6))
+        y = x + 1e-9
+        sq = squared_euclidean_cross(x, y)
+        assert np.all(sq >= 0.0)
+        assert not np.any(np.isnan(euclidean_cross(x, y)))
+
+    def test_identical_rows_are_exactly_zero(self, rng):
+        """einsum's fixed summation order makes self-distances exact zeros
+        (the engine's self-query guarantee depends on this)."""
+        x = rng.normal(size=(20, 6)) * 100
+        assert np.all(np.diag(squared_euclidean_cross(x, x)) == 0.0)
+        assert np.all(np.diag(euclidean_cross(x, x)) == 0.0)
+
+    @given(
+        st.integers(1, 6).flatmap(
+            lambda m: arrays(
+                float, (m, 3), elements=st.floats(-100, 100, allow_nan=False, width=32)
+            )
+        ),
+        st.integers(1, 6).flatmap(
+            lambda n: arrays(
+                float, (n, 3), elements=st.floats(-100, 100, allow_nan=False, width=32)
+            )
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gram_form_property(self, x, y):
+        assert np.allclose(
+            squared_euclidean_cross(x, y),
+            squared_euclidean_cross_reference(x, y),
+            rtol=1e-9,
+            atol=1e-7,
+        )
 
 
 class TestMinMatching:
@@ -133,6 +188,47 @@ class TestMinMatching:
             assert min_matching_distance(x, y, backend="own") == pytest.approx(
                 min_matching_distance(x, y, backend="scipy")
             )
+
+    def test_pairs_never_empty_via_public_api(self, rng):
+        """The smaller set is always fully matched, so `pairs` has at
+        least one entry — the empty-matching guard in `is_identity` is
+        defensive here (the batched kernel's omega-padded formulation
+        *can* produce all-virtual matchings; see test_core_batch)."""
+        for _ in range(10):
+            x = rng.normal(size=(rng.integers(1, 6), 3))
+            y = rng.normal(size=(rng.integers(1, 6), 3))
+            result = min_matching_match(x, y)
+            assert len(result.pairs) == min(len(x), len(y))
+
+    def test_identity_flag_requires_identity_pairs(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert min_matching_match(x, x).is_identity
+        swapped = x[[1, 0, 2]]
+        assert not min_matching_match(x, swapped).is_identity
+
+
+class TestAsSetArray:
+    def test_accepts_raw_array_and_vector_set(self, rng):
+        arr = rng.normal(size=(3, 4))
+        assert np.array_equal(as_set_array(arr), arr)
+        assert np.array_equal(as_set_array(VectorSet(arr, capacity=5)), arr)
+
+    def test_rejects_empty_and_misshaped(self):
+        with pytest.raises(DistanceError):
+            as_set_array(np.empty((0, 3)))
+        with pytest.raises(DistanceError):
+            as_set_array(np.zeros(3))
+
+    def test_rejects_corrupted_vector_set(self):
+        """Frozen dataclasses can be bypassed; the validation must hold on
+        the VectorSet branch too (it used to be skipped there)."""
+        vs = VectorSet(np.zeros((1, 3)), capacity=2)
+        object.__setattr__(vs, "vectors", np.empty((0, 3)))
+        with pytest.raises(DistanceError):
+            as_set_array(vs)
+        object.__setattr__(vs, "vectors", np.zeros(5))
+        with pytest.raises(DistanceError):
+            as_set_array(vs)
 
 
 class TestMetricAxioms:

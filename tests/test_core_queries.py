@@ -85,6 +85,117 @@ class TestRange:
             eng.range_query(rng.normal(size=(2, 6)), -1.0)
 
 
+class TestBlockedRefinement:
+    """The blocked batch refinement must be invisible in the results."""
+
+    def test_block_sizes_agree(self, engine, rng):
+        eng, sets = engine
+        for block_size in (1, 3, 16, 64, 1000):
+            other = FilterRefineEngine(sets, capacity=7, block_size=block_size)
+            for qi in (0, 42):
+                expected, _ = eng.knn_query(sets[qi], 6)
+                got, _ = other.knn_query(sets[qi], 6)
+                assert [m.object_id for m in got] == [m.object_id for m in expected]
+                assert [m.distance for m in got] == [m.distance for m in expected]
+
+    def test_block_size_one_is_strictly_sequential(self, engine, rng):
+        eng, sets = engine
+        sequential = FilterRefineEngine(sets, capacity=7, block_size=1)
+        for _ in range(5):
+            query = rng.normal(size=(rng.integers(1, 8), 6))
+            _, stats = sequential.knn_query(query, 5)
+            assert stats.extra_refinements == 0
+
+    def test_extra_refinements_bounded_by_block(self, engine, rng):
+        eng, sets = engine
+        sequential = FilterRefineEngine(sets, capacity=7, block_size=1)
+        for _ in range(5):
+            query = rng.normal(size=(rng.integers(1, 8), 6))
+            _, blocked_stats = eng.knn_query(query, 5)
+            _, seq_stats = sequential.knn_query(query, 5)
+            assert blocked_stats.extra_refinements <= eng.block_size - 1
+            # Exactly the overshoot beyond the sequential optimum.
+            assert (
+                blocked_stats.exact_computations - blocked_stats.extra_refinements
+                == seq_stats.exact_computations
+            )
+
+    def test_matches_per_pair_refinement(self, engine, rng):
+        """The batch kernel and a per-pair exact_distance engine agree."""
+        eng, sets = engine
+        per_pair = FilterRefineEngine(
+            sets, capacity=7, exact_distance=min_matching_distance
+        )
+        query = rng.normal(size=(4, 6))
+        batched, _ = eng.knn_query(query, 8)
+        looped, _ = per_pair.knn_query(query, 8)
+        assert [m.object_id for m in batched] == [m.object_id for m in looped]
+        assert [m.distance for m in batched] == pytest.approx(
+            [m.distance for m in looped], abs=1e-9
+        )
+        batched_range, _ = eng.range_query(query, 4.0)
+        looped_range, _ = per_pair.range_query(query, 4.0)
+        assert [m.object_id for m in batched_range] == [
+            m.object_id for m in looped_range
+        ]
+
+    def test_scipy_backend_agrees(self, engine, rng):
+        eng, sets = engine
+        oracle = FilterRefineEngine(sets, capacity=7, backend="scipy")
+        query = rng.normal(size=(3, 6))
+        expected, _ = eng.knn_query(query, 5)
+        got, _ = oracle.knn_query(query, 5)
+        assert [m.object_id for m in got] == [m.object_id for m in expected]
+        assert [m.distance for m in got] == pytest.approx(
+            [m.distance for m in expected], abs=1e-9
+        )
+
+    def test_invalid_block_size_rejected(self, rng):
+        with pytest.raises(QueryError):
+            FilterRefineEngine([rng.normal(size=(2, 6))], capacity=7, block_size=0)
+
+
+class TestKnnQueryMany:
+    def test_identical_to_looped_queries(self, engine, rng):
+        eng, sets = engine
+        queries = [rng.normal(size=(rng.integers(1, 8), 6)) for _ in range(6)]
+        queries.append(sets[42])
+        many = eng.knn_query_many(queries, 5)
+        assert len(many) == len(queries)
+        for query, (results, stats) in zip(queries, many):
+            expected, expected_stats = eng.knn_query(query, 5)
+            assert [m.object_id for m in results] == [m.object_id for m in expected]
+            assert [m.distance for m in results] == [m.distance for m in expected]
+            assert stats.candidates_ranked == expected_stats.candidates_ranked
+            assert stats.exact_computations == expected_stats.exact_computations
+            assert stats.extra_refinements == expected_stats.extra_refinements
+            assert stats.pruned == expected_stats.pruned
+
+    def test_empty_query_list(self, engine):
+        eng, _ = engine
+        assert eng.knn_query_many([], 3) == []
+
+    def test_custom_exact_distance_fallback(self, rng):
+        sets = random_vector_sets(rng, 30, dim=6, max_size=7)
+        eng = FilterRefineEngine(
+            sets, capacity=7, exact_distance=min_matching_distance
+        )
+        queries = [rng.normal(size=(3, 6)) for _ in range(3)]
+        many = eng.knn_query_many(queries, 4)
+        for query, (results, _) in zip(queries, many):
+            expected, _ = eng.knn_query(query, 4)
+            assert [m.object_id for m in results] == [m.object_id for m in expected]
+
+    def test_invalid_k_rejected(self, engine):
+        eng, sets = engine
+        with pytest.raises(QueryError):
+            eng.knn_query_many([sets[0]], 0)
+
+    def test_batch_queries_alias(self, engine):
+        eng, _ = engine
+        assert eng.batch_queries == eng.knn_query_many
+
+
 class TestConstruction:
     def test_empty_database_rejected(self):
         with pytest.raises(QueryError):
