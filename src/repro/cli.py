@@ -73,6 +73,26 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="abort on the first bad input (shorthand for --on-error raise)",
     )
+    ingest.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for voxelization and feature extraction "
+        "(default: serial; -1 for all cores)",
+    )
+    ingest.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed feature cache under REPRO_CACHE_DIR",
+    )
+    ingest.add_argument(
+        "--assert-cache-hits",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) unless at least PCT%% of feature lookups hit "
+        "the cache (CI guard for warm-cache re-ingests)",
+    )
 
     query = commands.add_parser("query", help="k-nn search against a database")
     query.add_argument("database", type=Path)
@@ -109,14 +129,23 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("database", type=Path)
 
     bench = commands.add_parser(
-        "bench", help="batched vs per-pair kernel benchmark (writes JSON)"
+        "bench", help="optimized vs baseline benchmarks (writes JSON)"
     )
     bench.add_argument("--n", type=int, default=1000, help="database size")
     bench.add_argument("--k", type=int, default=7, help="set cardinality bound")
     bench.add_argument("--dim", type=int, default=6, help="feature dimension")
     bench.add_argument("--queries", type=int, default=10, help="k-nn query count")
     bench.add_argument("--seed", type=int, default=20030609)
-    bench.add_argument("--out", type=Path, default=Path("BENCH_PR2.json"))
+    bench.add_argument("--out", type=Path, default=Path("BENCH_PR3.json"))
+    bench.add_argument(
+        "--label", default=None, help="tag recorded in every result entry"
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the parallel ingest benchmark",
+    )
     bench.add_argument(
         "--quick",
         action="store_true",
@@ -132,6 +161,7 @@ def _load_mesh(path: Path):
 
 
 def cmd_ingest(args) -> int:
+    from repro.features.cache import FeatureCache
     from repro.features.vector_set_model import VectorSetModel
     from repro.io.database import ObjectDatabase, StoredObject
     from repro.pipeline import Pipeline
@@ -156,22 +186,29 @@ def cmd_ingest(args) -> int:
             parts, _ = make_car_dataset(seed=args.seed or 2003)
         else:
             parts, _ = make_aircraft_dataset(n=args.n, seed=args.seed or 1903)
-        report = pipeline.process_parts(parts, on_error=policy)
+        report = pipeline.process_parts(parts, on_error=policy, n_jobs=args.jobs)
     else:
-        report = pipeline.process_mesh_directory(args.meshes, on_error=policy)
+        report = pipeline.process_mesh_directory(
+            args.meshes, on_error=policy, n_jobs=args.jobs
+        )
         if not report.records:
             print(f"no .stl/.off files in {args.meshes}", file=sys.stderr)
             return 2
 
     # Feature extraction runs under the same isolation policy: a grid
-    # the model rejects must not abort the rest of the batch.
-    for processed in list(report.objects):
-        try:
-            extracted = model.extract(processed.grid)
-        except Exception as exc:
+    # the model rejects must not abort the rest of the batch.  Cache
+    # hits (content-addressed on occupancy bits + model parameters)
+    # skip extraction entirely.
+    cache = FeatureCache(enabled=not args.no_cache)
+    survivors = list(report.objects)
+    outcomes = model.extract_many_outcomes(
+        [obj.grid for obj in survivors], n_jobs=args.jobs, cache=cache
+    )
+    for processed, (ok, value) in zip(survivors, outcomes):
+        if not ok:
             if policy == "raise":
-                raise
-            report.demote(processed, exc)
+                raise value
+            report.demote(processed, value)
             continue
         database.add(
             StoredObject(
@@ -182,7 +219,16 @@ def cmd_ingest(args) -> int:
                 pose=processed.pose,
             )
         )
-        features.append(extracted)
+        features.append(value)
+
+    lookups = cache.hits + cache.misses
+    hit_pct = 100.0 * cache.hits / lookups if lookups else 0.0
+    if cache.enabled:
+        print(
+            f"feature cache: {cache.hits} hits / {cache.misses} misses "
+            f"({hit_pct:.1f}% hit rate)"
+        )
+        cache.flush_stats()
 
     if not report.all_ok():
         print(report.summary(), file=sys.stderr)
@@ -192,6 +238,13 @@ def cmd_ingest(args) -> int:
     database.set_features(MODEL_KEY.format(k=args.covers), features)
     database.save(args.out)
     print(f"ingested {len(database)} objects -> {args.out}")
+    if args.assert_cache_hits is not None and hit_pct < args.assert_cache_hits:
+        print(
+            f"error: cache hit rate {hit_pct:.1f}% below required "
+            f"{args.assert_cache_hits:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if report.all_ok() else 3
 
 
@@ -341,6 +394,8 @@ def cmd_bench(args) -> int:
             "speedup": round(per_pair / batched, 2) if batched else float("inf"),
             **extra,
         }
+        if args.label is not None:
+            entry["label"] = args.label
         records.append(entry)
         print(
             f"{op:20} per-pair {entry['per_pair_seconds']:>10.3f}s   "
@@ -389,6 +444,72 @@ def cmd_bench(args) -> int:
         raise ReproError("match_many disagrees with per-pair baseline")
     record("match_many", per_pair, batched)
 
+    # -- extraction benchmarks ------------------------------------------
+    # The "per-pair" column is the reference extractor (dense O(r^4)
+    # max-sum-box per greedy step); "batched" is the incremental engine
+    # (blocked scan + cross-iteration x-pair memo).  Both are verified
+    # bit-identical before any timing is recorded.
+    import shutil
+    import tempfile
+
+    from repro.datasets.aircraft import make_aircraft_dataset
+    from repro.features.cache import FeatureCache
+    from repro.features.cover_sequence import extract_cover_sequence
+    from repro.features.vector_set_model import VectorSetModel
+    from repro.pipeline import Pipeline
+
+    single_res, single_k = (12, 5) if args.quick else (30, 7)
+    parts, _ = make_aircraft_dataset(n=4, seed=args.seed or 1903)
+    grid = Pipeline(resolution=single_res).process_parts(parts[:1]).objects[0].grid
+    seq_ref = extract_cover_sequence(grid, single_k, engine="reference")
+    seq_inc = extract_cover_sequence(grid, single_k, engine="incremental")
+    if seq_ref.covers != seq_inc.covers or seq_ref.errors != seq_inc.errors:
+        raise ReproError("incremental extraction disagrees with reference oracle")
+    start = time.perf_counter()
+    extract_cover_sequence(grid, single_k, engine="reference")
+    per_pair = time.perf_counter() - start
+    start = time.perf_counter()
+    extract_cover_sequence(grid, single_k, engine="incremental")
+    batched = time.perf_counter() - start
+    record(
+        "extract_single", per_pair, batched,
+        resolution=single_res, covers=single_k,
+    )
+
+    # End-to-end ingest: serial reference extraction vs parallel
+    # incremental extraction with a warm content-addressed cache (the
+    # steady-state of repeated `repro ingest` runs).
+    n_objects, ingest_res = (12, 12) if args.quick else (200, 15)
+    parts, _ = make_aircraft_dataset(n=n_objects, seed=args.seed or 1903)
+    grids = [
+        obj.grid
+        for obj in Pipeline(resolution=ingest_res).process_parts(parts).objects
+    ]
+    reference_model = VectorSetModel(k=single_k, engine="reference")
+    optimized_model = VectorSetModel(k=single_k)
+    start = time.perf_counter()
+    features_ref = [reference_model.extract(g) for g in grids]
+    per_pair = time.perf_counter() - start
+    cache_root = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        cache = FeatureCache(root=cache_root)
+        optimized_model.extract_many(grids, n_jobs=args.jobs, cache=cache)
+        start = time.perf_counter()
+        features_opt = optimized_model.extract_many(
+            grids, n_jobs=args.jobs, cache=cache
+        )
+        batched = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    for got, expected in zip(features_opt, features_ref):
+        if not np.array_equal(got, expected):
+            raise ReproError("cached/parallel features disagree with reference")
+    record(
+        "ingest_200", per_pair, batched,
+        objects=len(grids), resolution=ingest_res, jobs=args.jobs,
+        cache="warm",
+    )
+
     args.out.write_text(json.dumps(records, indent=2) + "\n")
     print(f"\nwrote {args.out}")
     return 0
@@ -410,6 +531,14 @@ def cmd_info(args) -> int:
     voxels = [obj.grid.count for obj in database]
     print(f"voxels/object: min={min(voxels)} median={sorted(voxels)[len(voxels)//2]} "
           f"max={max(voxels)}")
+    from repro.features.cache import cache_info
+
+    info = cache_info()
+    print(
+        f"feature cache: {info['entries']} entries ({info['bytes']} bytes) "
+        f"at {info['root']}; lifetime {info['hits']} hits / "
+        f"{info['misses']} misses"
+    )
     return 0
 
 

@@ -141,20 +141,26 @@ def model_resolution(name: str) -> int:
 
 
 def extract_features(
-    bundle: DatasetBundle, model: FeatureModel, use_cache: bool = True
+    bundle: DatasetBundle,
+    model: FeatureModel,
+    use_cache: bool = True,
+    n_jobs: int | None = None,
 ) -> list[np.ndarray]:
-    """Extract (and cache) one feature array per object."""
-    key = (
-        f"feat_{bundle.dataset}_r{bundle.resolution}_n{bundle.n}_"
-        f"{model.name.replace('(', '_').replace(')', '').replace('=', '').replace(', ', '_')}"
-    )
-    path = cache_dir() / f"{key}.npz"
-    if use_cache and path.exists():
-        with np.load(path) as data:
-            return [data[f"a{i}"] for i in range(bundle.n)]
-    features = [model.extract(grid) for grid in bundle.grids()]
-    if use_cache:
-        np.savez_compressed(path, **{f"a{i}": feat for i, feat in enumerate(features)})
+    """Extract one feature array per object.
+
+    Goes through the content-addressed per-object cache of
+    :mod:`repro.features.cache` (keyed on occupancy bits + model
+    parameters), so features are shared between datasets, subsets and
+    runs that contain the same object — not just exact repetitions of
+    one aggregate (dataset, n, model) tuple as the earlier whole-bundle
+    ``.npz`` cache required.  ``n_jobs`` fans extraction of cache misses
+    out over the shared process pool.
+    """
+    from repro.features.cache import FeatureCache
+
+    cache = FeatureCache(enabled=use_cache)
+    features = model.extract_many(bundle.grids(), n_jobs=n_jobs, cache=cache)
+    cache.flush_stats()
     return features
 
 

@@ -69,10 +69,89 @@ class FeatureModel(ABC):
     def extract(self, grid: VoxelGrid) -> np.ndarray:
         """Map a voxel grid to its feature vector (or vector set)."""
 
-    def extract_many(self, grids: list[VoxelGrid]) -> list[np.ndarray]:
-        """Extract features for a list of grids (overridable for batch
-        optimizations; the default just loops)."""
-        return [self.extract(grid) for grid in grids]
+    def extract_many(
+        self,
+        grids: list[VoxelGrid],
+        n_jobs: int | None = None,
+        cache=None,
+    ) -> list[np.ndarray]:
+        """Extract features for a list of grids.
+
+        Parameters
+        ----------
+        n_jobs:
+            Worker processes (``None``/``0`` = serial, negative = all
+            cores) drawn from the shared pool of :mod:`repro.parallel`.
+            Results keep input order and are bit-identical to a serial
+            run; the first failure (by input order) is raised.
+        cache:
+            Optional :class:`repro.features.cache.FeatureCache`: hits
+            skip extraction entirely, misses are stored after
+            extraction.
+        """
+        features: list[np.ndarray] = []
+        for ok, value in self.extract_many_outcomes(grids, n_jobs=n_jobs, cache=cache):
+            if not ok:
+                raise value
+            features.append(value)
+        return features
+
+    def extract_many_outcomes(
+        self,
+        grids: list[VoxelGrid],
+        n_jobs: int | None = None,
+        cache=None,
+    ) -> list[tuple[bool, object]]:
+        """Per-grid ``(ok, feature_or_exception)`` outcomes, input order.
+
+        The failure-isolating variant of :meth:`extract_many`: callers
+        with per-object fault policies (the ingest pipeline) inspect
+        each outcome instead of losing the whole batch to one bad grid.
+        Failed extractions are never cached.
+        """
+        from repro.parallel import resolve_n_jobs, shared_pool
+
+        jobs = resolve_n_jobs(n_jobs)
+        results: list[tuple[bool, object] | None] = [None] * len(grids)
+        pending: list[int] = []
+        for index, grid in enumerate(grids):
+            hit = cache.get(grid, self) if cache is not None else None
+            if hit is not None:
+                results[index] = (True, hit)
+            else:
+                pending.append(index)
+        if pending:
+            if jobs > 1 and len(pending) > 1:
+                pool = shared_pool(min(jobs, len(pending)))
+                chunk = max(1, len(pending) // (4 * jobs))
+                outcomes = list(
+                    pool.map(
+                        _extract_outcome,
+                        [(self, grids[i]) for i in pending],
+                        chunksize=chunk,
+                    )
+                )
+            else:
+                outcomes = [_extract_outcome((self, grids[i])) for i in pending]
+            for index, outcome in zip(pending, outcomes):
+                results[index] = outcome
+                if outcome[0] and cache is not None:
+                    cache.put(grids[index], self, outcome[1])
+        return results  # type: ignore[return-value]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
+
+
+def _extract_outcome(task) -> tuple[bool, object]:
+    """Process-pool work unit: one extraction, failures as values.
+
+    Module-level (picklable) and exception-capturing so a worker crash
+    on one grid surfaces as that grid's outcome instead of poisoning
+    the pool.
+    """
+    model, grid = task
+    try:
+        return True, model.extract(grid)
+    except Exception as exc:
+        return False, exc

@@ -1,0 +1,184 @@
+"""Content-addressed on-disk cache for extracted features.
+
+Feature extraction is a pure function of the voxel grid and the model
+parameters, so its results can be reused across runs, processes and
+datasets.  Each feature array is stored in its own file named by the
+SHA-256 of the packed occupancy bits plus a canonical token of the
+model's class, name and constructor parameters — mutating a single
+voxel, or changing any model parameter, changes the key, so stale hits
+are impossible by construction and no invalidation logic is needed.
+
+The cache lives under ``$REPRO_CACHE_DIR/features`` (default
+``.repro_cache/features``); writes are atomic (unique temp file +
+``os.replace``, the same pattern the object database uses), corrupt or
+truncated entries read as misses and are re-extracted, and hit/miss
+counters can be merged into a cumulative ``stats.json`` for ``repro
+info``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.voxel.grid import VoxelGrid
+
+#: Version tag mixed into every key; bump to invalidate all entries when
+#: the feature encoding itself changes incompatibly.
+CACHE_KEY_VERSION = b"repro-feature-v1\0"
+
+
+def default_cache_root() -> Path:
+    """Where feature cache entries live (under ``REPRO_CACHE_DIR``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache")) / "features"
+
+
+def model_token(model) -> str:
+    """A canonical string identifying a model's class and parameters.
+
+    Combines the class name, the model's ``name`` property and the
+    sorted constructor attributes, so two instances produce the same
+    token exactly when they would extract identical features.
+    """
+    try:
+        params = sorted(vars(model).items())
+    except TypeError:  # __slots__ or exotic models: fall back to repr
+        params = [("repr", repr(model))]
+    name = getattr(model, "name", type(model).__name__)
+    return f"{type(model).__name__}|{name}|{params!r}"
+
+
+def feature_cache_key(grid: VoxelGrid, model) -> str:
+    """SHA-256 content key of (occupancy bits, resolution, model)."""
+    digest = hashlib.sha256()
+    digest.update(CACHE_KEY_VERSION)
+    digest.update(int(grid.resolution).to_bytes(4, "little"))
+    digest.update(np.packbits(grid.occupancy).tobytes())
+    digest.update(model_token(model).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class FeatureCache:
+    """Per-object feature cache with hit/miss accounting.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (default: :func:`default_cache_root`, resolved
+        lazily so tests can repoint ``REPRO_CACHE_DIR`` per instance).
+    enabled:
+        A disabled cache is a no-op on both lookup and store, which lets
+        callers thread one code path for ``--no-cache``.
+    """
+
+    def __init__(self, root: str | Path | None = None, enabled: bool = True):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Entry location (two-level fan-out keeps directories small)."""
+        return self.root / key[:2] / f"{key}.npy"
+
+    def get(self, grid: VoxelGrid, model) -> np.ndarray | None:
+        """The cached feature array, or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        path = self.path_for(feature_cache_key(grid, model))
+        if path.exists():
+            try:
+                feature = np.load(path, allow_pickle=False)
+            except (OSError, ValueError):
+                # Corrupt/truncated entry (e.g. a crashed writer on a
+                # filesystem without atomic replace): treat as a miss
+                # and let the fresh put() below repair it.
+                pass
+            else:
+                self.hits += 1
+                return feature
+        self.misses += 1
+        return None
+
+    def put(self, grid: VoxelGrid, model, feature: np.ndarray) -> None:
+        """Store *feature* atomically (unique temp file + replace)."""
+        if not self.enabled:
+            return
+        path = self.path_for(feature_cache_key(grid, model))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, np.asarray(feature), allow_pickle=False)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- statistics ----------------------------------------------------------
+
+    def flush_stats(self) -> None:
+        """Merge this instance's counters into the cumulative stats file.
+
+        Best-effort: a read-only or contended cache directory must not
+        fail the extraction that produced the features.
+        """
+        if not self.enabled or (self.hits == 0 and self.misses == 0):
+            return
+        stats_path = self.root / "stats.json"
+        try:
+            totals = _read_stats(stats_path)
+            totals["hits"] += self.hits
+            totals["misses"] += self.misses
+            stats_path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=stats_path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(totals, handle)
+            os.replace(tmp, stats_path)
+        except OSError:
+            return
+        self.hits = 0
+        self.misses = 0
+
+
+def _read_stats(stats_path: Path) -> dict:
+    try:
+        with open(stats_path) as handle:
+            data = json.load(handle)
+        return {"hits": int(data["hits"]), "misses": int(data["misses"])}
+    except (OSError, ValueError, KeyError, TypeError):
+        return {"hits": 0, "misses": 0}
+
+
+def cache_info(root: str | Path | None = None) -> dict:
+    """Summary of the on-disk cache for ``repro info``.
+
+    Returns entry count, total bytes and the cumulative hit/miss
+    counters that :meth:`FeatureCache.flush_stats` maintains.
+    """
+    base = Path(root) if root is not None else default_cache_root()
+    entries = 0
+    size = 0
+    if base.is_dir():
+        for path in base.rglob("*.npy"):
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+    totals = _read_stats(base / "stats.json")
+    return {
+        "root": str(base),
+        "entries": entries,
+        "bytes": size,
+        "hits": totals["hits"],
+        "misses": totals["misses"],
+    }

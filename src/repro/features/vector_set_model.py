@@ -25,12 +25,19 @@ class VectorSetModel(FeatureModel):
     explicitly).
     """
 
-    def __init__(self, k: int = 7, allow_subtraction: bool = True, normalize: bool = True):
+    def __init__(
+        self,
+        k: int = 7,
+        allow_subtraction: bool = True,
+        normalize: bool = True,
+        engine: str = "incremental",
+    ):
         if k < 1:
             raise ValueError("k must be >= 1")
         self.k = k
         self.allow_subtraction = allow_subtraction
         self.normalize = normalize
+        self.engine = engine
 
     @property
     def name(self) -> str:
@@ -41,5 +48,7 @@ class VectorSetModel(FeatureModel):
         return 6
 
     def extract(self, grid: VoxelGrid) -> np.ndarray:
-        sequence = extract_cover_sequence(grid, self.k, self.allow_subtraction)
+        sequence = extract_cover_sequence(
+            grid, self.k, self.allow_subtraction, engine=self.engine
+        )
         return sequence.feature_vectors(self.normalize)

@@ -1,0 +1,62 @@
+"""Shared process-pool infrastructure for object-level parallelism.
+
+Feature extraction and voxelization parallelize over *objects* (each
+object is independent), so every fan-out site — ``extract_many``,
+``Pipeline.process_parts``/``process_mesh_directory`` and the CLI —
+shares one lazily created :class:`~concurrent.futures.ProcessPoolExecutor`
+instead of paying worker start-up per call.  The pool is recreated only
+when a caller asks for more workers than it currently has, and shut down
+at interpreter exit.
+
+All helpers keep results in submission order, so parallel runs are
+deterministic and bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.exceptions import ReproError
+
+_pool: ProcessPoolExecutor | None = None
+_pool_size = 0
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` argument to a concrete worker count.
+
+    ``None`` and ``0`` mean serial (1); negative values mean "all
+    cores" (``os.cpu_count()``), mirroring the convention of
+    :func:`repro.core.batch.pairwise_matrix`.
+    """
+    if n_jobs is None or n_jobs == 0:
+        return 1
+    if n_jobs < 0:
+        return os.cpu_count() or 1
+    return int(n_jobs)
+
+
+def shared_pool(n_jobs: int) -> ProcessPoolExecutor:
+    """The shared executor, grown to at least *n_jobs* workers."""
+    global _pool, _pool_size
+    if n_jobs < 2:
+        raise ReproError("shared_pool needs n_jobs >= 2; serial paths skip the pool")
+    if _pool is None or _pool_size < n_jobs:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = ProcessPoolExecutor(max_workers=n_jobs)
+        _pool_size = n_jobs
+    return _pool
+
+
+def _shutdown() -> None:
+    global _pool, _pool_size
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_size = 0
+
+
+atexit.register(_shutdown)

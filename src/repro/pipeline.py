@@ -392,7 +392,10 @@ class Pipeline:
         )
 
     def process_parts(
-        self, parts: list[CADPart], on_error: str = "raise"
+        self,
+        parts: list[CADPart],
+        on_error: str = "raise",
+        n_jobs: int | None = None,
     ) -> IngestReport:
         """Process a whole dataset (deterministic, order-preserving).
 
@@ -407,6 +410,14 @@ class Pipeline:
             additionally walks a bounded fallback ladder (supersampled
             re-voxelization, then reduced resolution) before giving up
             on a part.
+        n_jobs:
+            Worker processes (``None``/``0`` = serial, negative = all
+            cores) from the shared pool of :mod:`repro.parallel`.  Each
+            part is voxelized and normalized in a worker under the same
+            per-object policy/retry ladder; single-part reports are
+            merged back in input order, so results — including the
+            records and the first-failure semantics of ``"raise"`` —
+            match the serial path exactly.
 
         Returns
         -------
@@ -418,6 +429,14 @@ class Pipeline:
         if on_error not in ON_ERROR_POLICIES:
             raise IngestError(
                 f"unknown on_error policy {on_error!r}; choose from {ON_ERROR_POLICIES}"
+            )
+        from repro.parallel import resolve_n_jobs
+
+        jobs = resolve_n_jobs(n_jobs)
+        if jobs > 1 and len(parts) > 1:
+            tasks = [(self, part, on_error) for part in parts]
+            return _merge_reports(
+                on_error, _pool_map(_ingest_part_task, tasks, jobs)
             )
         report = IngestReport(on_error)
         for part in parts:
@@ -436,6 +455,7 @@ class Pipeline:
         on_error: str = "skip",
         fill: bool = True,
         suffixes: tuple[str, ...] = MESH_SUFFIXES,
+        n_jobs: int | None = None,
     ) -> IngestReport:
         """Ingest every mesh file in *directory* (sorted, deterministic).
 
@@ -445,13 +465,15 @@ class Pipeline:
         file list (stable even when other files fail).  The default
         policy is ``"skip"`` — real mesh collections routinely contain a
         few malformed exports, and one bad file must not abort the
-        batch.
+        batch.  ``n_jobs`` parallelizes over files exactly like
+        :meth:`process_parts` does over parts.
         """
         if on_error not in ON_ERROR_POLICIES:
             raise IngestError(
                 f"unknown on_error policy {on_error!r}; choose from {ON_ERROR_POLICIES}"
             )
         from repro.io import read_mesh
+        from repro.parallel import resolve_n_jobs
 
         directory = Path(directory)
         try:
@@ -460,6 +482,15 @@ class Pipeline:
             )
         except OSError as exc:
             raise StorageError(f"cannot list mesh directory {directory}: {exc}") from exc
+        jobs = resolve_n_jobs(n_jobs)
+        if jobs > 1 and len(files) > 1:
+            tasks = [
+                (self, path, class_id, on_error, fill)
+                for class_id, path in enumerate(files)
+            ]
+            return _merge_reports(
+                on_error, _pool_map(_ingest_mesh_task, tasks, jobs)
+            )
         report = IngestReport(on_error)
         for class_id, path in enumerate(files):
 
@@ -478,6 +509,65 @@ class Pipeline:
                 path.stem, build, "mesh", on_error, report, source=str(path)
             )
         return report
+
+
+# -- process-pool work units ---------------------------------------------------
+#
+# Module-level (picklable) single-object tasks: each runs the full
+# per-object pipeline — voxelization included — under the caller's
+# on_error policy inside a worker process and returns a one-object
+# IngestReport.  Under on_error="raise" the exception propagates out of
+# the worker; _pool_map iterates results in submission order, so the
+# *earliest* failing object aborts the batch, matching the serial path.
+
+
+def _ingest_part_task(task) -> IngestReport:
+    pipeline, part, on_error = task
+    report = IngestReport(on_error)
+    pipeline._ingest_one(
+        part.name,
+        lambda **ov: pipeline.process_part(part, **ov),
+        "solid",
+        on_error,
+        report,
+    )
+    return report
+
+
+def _ingest_mesh_task(task) -> IngestReport:
+    pipeline, path, class_id, on_error, fill = task
+    from repro.io import read_mesh
+
+    def build(**overrides):
+        mesh = read_mesh(path)
+        grid, pose = pipeline.process_mesh(mesh, fill=fill, **overrides)
+        return ProcessedObject(
+            name=path.stem,
+            family="mesh",
+            class_id=class_id,
+            grid=grid,
+            pose=pose,
+        )
+
+    report = IngestReport(on_error)
+    pipeline._ingest_one(path.stem, build, "mesh", on_error, report, source=str(path))
+    return report
+
+
+def _pool_map(task_fn, tasks: list, jobs: int) -> list:
+    from repro.parallel import shared_pool
+
+    pool = shared_pool(min(jobs, len(tasks)))
+    return list(pool.map(task_fn, tasks))
+
+
+def _merge_reports(on_error: str, partials: list[IngestReport]) -> IngestReport:
+    """Concatenate single-object reports in submission order."""
+    report = IngestReport(on_error)
+    for partial in partials:
+        report.objects.extend(partial.objects)
+        report.records.extend(partial.records)
+    return report
 
 
 def pairwise_distance_matrix(objects: list, distance) -> np.ndarray:

@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.geometry.sdf import Box, Cylinder, Sphere, Torus
 from repro.voxel.voxelize import voxelize_solid
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point REPRO_CACHE_DIR at a session temp dir so tests never write
+    a ``.repro_cache`` into the working directory (and never read a
+    developer's warm cache)."""
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
 
 
 @pytest.fixture

@@ -46,6 +46,40 @@ class TestIngest:
         code = main(["ingest", "--meshes", str(empty), "--out", str(tmp_path / "x.npz")])
         assert code == 2
 
+    def test_ingest_parallel_matches_serial(self, tmp_path):
+        from repro.io.database import ObjectDatabase
+
+        serial_path = tmp_path / "serial.npz"
+        parallel_path = tmp_path / "parallel.npz"
+        args = ["ingest", "--dataset", "aircraft", "--n", "10"]
+        assert main(args + ["--out", str(serial_path), "--no-cache"]) == 0
+        assert main(args + ["--out", str(parallel_path), "--jobs", "2",
+                            "--no-cache"]) == 0
+        serial = ObjectDatabase.load(serial_path)
+        parallel = ObjectDatabase.load(parallel_path)
+        assert serial.names() == parallel.names()
+
+    def test_ingest_cache_warm_second_pass(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        args = ["ingest", "--dataset", "aircraft", "--n", "8"]
+        assert main(args + ["--out", str(tmp_path / "a.npz")]) == 0
+        assert "misses" in capsys.readouterr().out
+        # Second pass over identical grids must be (nearly) all hits.
+        code = main(
+            args + ["--out", str(tmp_path / "b.npz"), "--assert-cache-hits", "90"]
+        )
+        assert code == 0
+        assert "100.0% hit rate" in capsys.readouterr().out
+
+    def test_assert_cache_hits_fails_cold(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(
+            ["ingest", "--dataset", "aircraft", "--n", "6",
+             "--out", str(tmp_path / "a.npz"), "--assert-cache-hits", "90"]
+        )
+        assert code == 1
+        assert "below required" in capsys.readouterr().err
+
 
 class TestQuery:
     def test_query_by_name(self, car_db, capsys):
@@ -92,6 +126,7 @@ class TestClusterAndInfo:
         out = capsys.readouterr().out
         assert "objects:       40" in out
         assert "vector-set(k=7)" in out
+        assert "feature cache:" in out
 
 
 class TestExperiment:
@@ -111,8 +146,26 @@ class TestBench:
         assert "speedup" in capsys.readouterr().out
         records = json.loads(out.read_text())
         ops = {record["op"] for record in records}
-        assert ops == {"pairwise_matrix", "knn_sequential", "match_many"}
+        assert ops == {
+            "pairwise_matrix",
+            "knn_sequential",
+            "match_many",
+            "extract_single",
+            "ingest_200",
+        }
         for record in records:
             assert record["batched_seconds"] > 0
             assert record["per_pair_seconds"] > 0
             assert record["speedup"] > 0
+            assert "label" not in record
+
+    def test_label_is_stamped_into_records(self, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--quick", "--out", str(out), "--label", "unit-test"]
+        )
+        assert code == 0
+        records = json.loads(out.read_text())
+        assert records and all(r["label"] == "unit-test" for r in records)

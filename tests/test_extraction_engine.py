@@ -1,0 +1,165 @@
+"""The incremental/blocked extraction engine vs the reference oracle.
+
+PR 3 replaced the dense O(r^4) max-sum-box tensor with a blocked exact
+kernel and added an incremental greedy extractor with a cross-iteration
+x-pair memo.  Both are required to be *bit-identical* to the reference
+path — same covers, same signs, same error sequence, same coordinates —
+so every test here compares against ``engine="reference"`` rather than
+against golden values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import FeatureError
+from repro.features.cover_sequence import (
+    DEFAULT_BLOCK_BYTES,
+    default_block_bytes,
+    extract_cover_sequence,
+    max_sum_box,
+)
+from repro.features.vector_set_model import VectorSetModel
+from repro.voxel.grid import VoxelGrid
+
+
+def assert_same_sequence(got, expected):
+    assert got.covers == expected.covers
+    assert got.errors == expected.errors
+
+
+class TestBlockedMaxSumBox:
+    @pytest.mark.parametrize("block_bytes", [2_000, 50_000, DEFAULT_BLOCK_BYTES])
+    def test_matches_reference_on_random_grids(self, rng, block_bytes):
+        for _ in range(25):
+            shape = tuple(rng.integers(2, 9, size=3))
+            weights = rng.integers(-3, 4, size=shape).astype(np.int8)
+            gain_ref, lo_ref, hi_ref = max_sum_box(weights, engine="reference")
+            gain, lo, hi = max_sum_box(weights, block_bytes=block_bytes)
+            assert gain == gain_ref
+            assert np.array_equal(lo, lo_ref)
+            assert np.array_equal(hi, hi_ref)
+
+    def test_matches_reference_on_float_weights(self, rng):
+        weights = rng.normal(size=(6, 7, 5))
+        gain_ref, lo_ref, hi_ref = max_sum_box(weights, engine="reference")
+        gain, lo, hi = max_sum_box(weights, block_bytes=4_000)
+        assert gain == pytest.approx(gain_ref)
+        assert np.array_equal(lo, lo_ref)
+        assert np.array_equal(hi, hi_ref)
+
+    def test_large_magnitude_weights_use_wide_dtypes(self, rng):
+        # Sums near the int16 and int32 SAT limits: the scan must widen
+        # instead of wrapping.
+        weights = np.full((8, 8, 8), 60, dtype=np.int64)
+        gain, lo, hi = max_sum_box(weights, block_bytes=3_000)
+        assert gain == 60 * 8**3
+        assert np.array_equal(lo, [0, 0, 0])
+        assert np.array_equal(hi, [7, 7, 7])
+
+        big = np.full((16, 16, 16), 2**18, dtype=np.int64)
+        big[0, 0, 0] = -1
+        gain, _, _ = max_sum_box(big, block_bytes=100_000)
+        assert gain == 2**18 * (16**3 - 1) - 1
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(FeatureError):
+            max_sum_box(np.ones((2, 2, 2)), engine="turbo")
+
+
+class TestResolution64Regression:
+    def test_single_box_grid_under_fixed_block_budget(self):
+        """A resolution-64 grid extracts exactly under an 8 MiB budget.
+
+        The pre-PR-3 dense kernel needed the full O(r^4) difference
+        tensor (~2 GiB at r = 64); the blocked kernel's peak memory is
+        capped by the budget independent of resolution.
+        """
+        occupancy = np.zeros((64, 64, 64), dtype=bool)
+        occupancy[2:62, 2:62, 2:62] = True
+        sequence = extract_cover_sequence(
+            VoxelGrid(occupancy), k=3, block_bytes=8 * 1024 * 1024
+        )
+        assert len(sequence.covers) == 1
+        cover = sequence.covers[0]
+        assert cover.sign == 1
+        assert cover.lower == (2, 2, 2)
+        assert cover.upper == (61, 61, 61)
+        assert sequence.errors[-1] == 0
+
+
+class TestIncrementalEngine:
+    @given(
+        occupancy=arrays(bool, (7, 7, 7), elements=st.booleans()),
+        k=st.integers(1, 6),
+        allow_subtraction=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_identical_to_reference(self, occupancy, k, allow_subtraction):
+        assume(occupancy.any())
+        grid = VoxelGrid(occupancy)
+        reference = extract_cover_sequence(
+            grid, k, allow_subtraction, engine="reference"
+        )
+        incremental = extract_cover_sequence(
+            grid, k, allow_subtraction, engine="incremental"
+        )
+        assert_same_sequence(incremental, reference)
+
+    @pytest.mark.parametrize("block_bytes", [3_000, None])
+    def test_identical_on_shaped_grids(self, lshape_grid, tire_grid, block_bytes):
+        for grid in (lshape_grid, tire_grid):
+            reference = extract_cover_sequence(grid, 7, engine="reference")
+            incremental = extract_cover_sequence(
+                grid, 7, engine="incremental", block_bytes=block_bytes
+            )
+            assert_same_sequence(incremental, reference)
+
+    def test_rejects_unknown_engine(self, lshape_grid):
+        with pytest.raises(FeatureError):
+            extract_cover_sequence(lshape_grid, 3, engine="bogus")
+
+    def test_model_engine_parameter(self, lshape_grid):
+        fast = VectorSetModel(k=5).extract(lshape_grid)
+        slow = VectorSetModel(k=5, engine="reference").extract(lshape_grid)
+        assert np.array_equal(fast, slow)
+
+
+class TestExtractMany:
+    def test_parallel_matches_serial(self, rng, lshape_grid, tire_grid, sphere_grid):
+        grids = [lshape_grid, tire_grid, sphere_grid] * 2
+        model = VectorSetModel(k=5)
+        serial = model.extract_many(grids)
+        parallel = model.extract_many(grids, n_jobs=4)
+        assert len(parallel) == len(serial)
+        for got, expected in zip(parallel, serial):
+            assert np.array_equal(got, expected)
+
+    def test_first_failure_raised_in_input_order(self, lshape_grid):
+        class ExplodingModel(VectorSetModel):
+            def extract(self, grid):
+                if grid.count == 0:
+                    raise FeatureError("empty grid")
+                return super().extract(grid)
+
+        empty = VoxelGrid(np.zeros((5, 5, 5), dtype=bool))
+        with pytest.raises(FeatureError, match="empty grid"):
+            ExplodingModel(k=3).extract_many([lshape_grid, empty, lshape_grid])
+
+
+class TestBlockBudgetEnv:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAXBOX_BLOCK_BYTES", "12345")
+        assert default_block_bytes() == 12345
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAXBOX_BLOCK_BYTES", raising=False)
+        assert default_block_bytes() == DEFAULT_BLOCK_BYTES
+
+    @pytest.mark.parametrize("raw", ["zero?", "0", "-4"])
+    def test_invalid_values_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_MAXBOX_BLOCK_BYTES", raw)
+        with pytest.raises(FeatureError):
+            default_block_bytes()

@@ -1,0 +1,122 @@
+"""The content-addressed feature cache (``repro.features.cache``).
+
+The cache key is a SHA-256 of the packed occupancy bits plus the model's
+class/name/parameters, so correctness reduces to: any change to the
+input changes the key (no stale hits possible), and the store survives
+corruption by degrading to a miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.cache import (
+    FeatureCache,
+    cache_info,
+    default_cache_root,
+    feature_cache_key,
+)
+from repro.features.vector_set_model import VectorSetModel
+from repro.voxel.grid import VoxelGrid
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return FeatureCache(root=tmp_path / "features")
+
+
+@pytest.fixture
+def model():
+    return VectorSetModel(k=5)
+
+
+class TestCacheKey:
+    def test_deterministic(self, lshape_grid, model):
+        assert feature_cache_key(lshape_grid, model) == feature_cache_key(
+            lshape_grid, VectorSetModel(k=5)
+        )
+
+    def test_single_voxel_mutation_changes_key(self, lshape_grid, model):
+        base = feature_cache_key(lshape_grid, model)
+        occupancy = lshape_grid.occupancy.copy()
+        occupancy[0, 0, 0] = not occupancy[0, 0, 0]
+        assert feature_cache_key(VoxelGrid(occupancy), model) != base
+
+    def test_model_parameter_changes_key(self, lshape_grid, model):
+        base = feature_cache_key(lshape_grid, model)
+        assert feature_cache_key(lshape_grid, VectorSetModel(k=6)) != base
+        assert (
+            feature_cache_key(lshape_grid, VectorSetModel(k=5, normalize=False))
+            != base
+        )
+
+    def test_resolution_changes_key(self, model):
+        small = VoxelGrid(np.ones((4, 4, 4), dtype=bool))
+        padded = np.zeros((5, 5, 5), dtype=bool)
+        padded[:4, :4, :4] = True
+        # Different grids must never collide even when their packed bits
+        # could share a prefix.
+        assert feature_cache_key(small, model) != feature_cache_key(
+            VoxelGrid(padded), model
+        )
+
+
+class TestFeatureCache:
+    def test_roundtrip_and_counters(self, cache, lshape_grid, model):
+        assert cache.get(lshape_grid, model) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        feature = model.extract(lshape_grid)
+        cache.put(lshape_grid, model, feature)
+        hit = cache.get(lshape_grid, model)
+        assert np.array_equal(hit, feature)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_corrupt_entry_reads_as_miss_and_is_repaired(
+        self, cache, lshape_grid, model
+    ):
+        feature = model.extract(lshape_grid)
+        cache.put(lshape_grid, model, feature)
+        path = cache.path_for(feature_cache_key(lshape_grid, model))
+        path.write_bytes(b"not a npy file")
+        assert cache.get(lshape_grid, model) is None
+        cache.put(lshape_grid, model, feature)
+        assert np.array_equal(cache.get(lshape_grid, model), feature)
+
+    def test_disabled_cache_is_a_noop(self, tmp_path, lshape_grid, model):
+        cache = FeatureCache(root=tmp_path / "features", enabled=False)
+        cache.put(lshape_grid, model, model.extract(lshape_grid))
+        assert cache.get(lshape_grid, model) is None
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert not (tmp_path / "features").exists()
+
+    def test_flush_stats_accumulates(self, cache, lshape_grid, model):
+        cache.get(lshape_grid, model)
+        cache.put(lshape_grid, model, model.extract(lshape_grid))
+        cache.get(lshape_grid, model)
+        cache.flush_stats()
+        assert (cache.hits, cache.misses) == (0, 0)
+        info = cache_info(cache.root)
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["entries"] == 1
+        assert info["bytes"] > 0
+        # A second flush from a fresh instance accumulates.
+        other = FeatureCache(root=cache.root)
+        other.get(lshape_grid, model)
+        other.flush_stats()
+        assert cache_info(cache.root)["hits"] == 2
+
+    def test_respects_repro_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_root() == tmp_path / "elsewhere" / "features"
+        assert FeatureCache().root == tmp_path / "elsewhere" / "features"
+
+
+class TestExtractManyIntegration:
+    def test_second_pass_is_all_hits(self, cache, model, lshape_grid, tire_grid):
+        grids = [lshape_grid, tire_grid]
+        first = model.extract_many(grids, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+        second = model.extract_many(grids, cache=cache)
+        assert (cache.hits, cache.misses) == (2, 2)
+        for got, expected in zip(second, first):
+            assert np.array_equal(got, expected)
