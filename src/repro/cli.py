@@ -10,6 +10,14 @@ Commands
 ``info``        show database statistics
 ``bench``       time the batched minimal-matching kernels against the
                 per-pair baseline on a seeded synthetic workload
+``stats``       merge metrics snapshots and validate trace files
+
+Observability: ``ingest``, ``query``, ``cluster``, ``experiment`` and
+``bench`` accept ``--trace FILE`` (JSON-lines span/event trace) and
+``--metrics FILE`` (counters/gauges/histograms snapshot); either flag
+enables the :mod:`repro.obs` layer for the run.  ``repro stats`` merges
+any number of such files into one report and exits non-zero when a
+trace is malformed (unclosed span) or a counter is negative.
 
 Examples
 --------
@@ -19,6 +27,8 @@ Examples
     python -m repro ingest --meshes parts/ --on-error retry --out parts.npz
     python -m repro info car.npz
     python -m repro query car.npz --name tire-003 -k 5
+    python -m repro query car.npz --name tire-003 --trace q.jsonl --metrics q.json
+    python -m repro stats --metrics q.json --trace q.jsonl
     python -m repro cluster car.npz
     python -m repro experiment table1
 
@@ -43,6 +53,24 @@ from repro.core.queries import FilterRefineEngine
 from repro.exceptions import ReproError
 
 MODEL_KEY = "vector-set(k={k})"
+
+
+def _add_obs_args(sub: argparse.ArgumentParser) -> None:
+    """The observability flags shared by every long-running command."""
+    sub.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a JSON-lines trace of spans and telemetry events",
+    )
+    sub.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a JSON metrics snapshot (counters/gauges/histograms)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -93,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) unless at least PCT%% of feature lookups hit "
         "the cache (CI guard for warm-cache re-ingests)",
     )
+    _add_obs_args(ingest)
 
     query = commands.add_parser("query", help="k-nn search against a database")
     query.add_argument("database", type=Path)
@@ -102,6 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("-k", type=int, default=10)
     query.add_argument("--covers", type=int, default=7)
     query.add_argument("--resolution", type=int, default=15)
+    _add_obs_args(query)
 
     cluster = commands.add_parser("cluster", help="OPTICS reachability plot")
     cluster.add_argument("database", type=Path)
@@ -116,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the pairwise distance matrix "
         "(default: serial; -1 for all cores)",
     )
+    _add_obs_args(cluster)
 
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument(
@@ -124,9 +155,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--queries", type=int, default=10)
     experiment.add_argument("--n", type=int, help="aircraft dataset size")
+    _add_obs_args(experiment)
 
     info = commands.add_parser("info", help="database statistics")
     info.add_argument("database", type=Path)
+
+    stats = commands.add_parser(
+        "stats", help="merge metrics snapshots and validate trace files"
+    )
+    stats.add_argument(
+        "--metrics",
+        type=Path,
+        nargs="+",
+        default=[],
+        metavar="FILE",
+        help="metrics snapshot files to merge (counters sum exactly)",
+    )
+    stats.add_argument(
+        "--trace",
+        type=Path,
+        nargs="+",
+        default=[],
+        metavar="FILE",
+        help="JSON-lines trace files to validate (every span must close)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
 
     bench = commands.add_parser(
         "bench", help="optimized vs baseline benchmarks (writes JSON)"
@@ -151,6 +206,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="tiny workload for CI smoke runs (overrides --n/--k)",
     )
+    _add_obs_args(bench)
     return parser
 
 
@@ -283,10 +339,7 @@ def cmd_query(args) -> int:
     for rank, match in enumerate(results, 1):
         obj = database[match.object_id]
         print(f"{rank:>4}  {obj.name:24} {obj.family:14} {match.distance:.4f}")
-    print(
-        f"\nrefined {stats.exact_computations}/{len(sets)} candidates "
-        f"({stats.pruned} pruned by the centroid filter)"
-    )
+    print(f"\n{stats}")
     return 0
 
 
@@ -367,11 +420,11 @@ def cmd_bench(args) -> int:
     times and the speedup factor.
     """
     import json
-    import time
 
     from repro.core.batch import PackedSets, match_many, pairwise_matrix
     from repro.core.min_matching import min_matching_distance
     from repro.core.queries import FilterRefineEngine
+    from repro.obs import span
     from repro.pipeline import pairwise_distance_matrix
 
     n, k = (60, 5) if args.quick else (args.n, args.k)
@@ -382,6 +435,17 @@ def cmd_bench(args) -> int:
     ]
     n_queries = min(args.queries, n)
     records = []
+
+    def timed(name: str, fn):
+        """One benchmark leg on the span timer.
+
+        ``force=True`` always measures wall time; the span reaches the
+        registry/trace only when ``--trace``/``--metrics`` enabled obs,
+        so plain bench runs pay nothing beyond two perf_counter calls.
+        """
+        with span(f"bench.{name}", force=True) as timer:
+            result = fn()
+        return result, timer.seconds
 
     def record(op: str, per_pair: float, batched: float, **extra) -> None:
         entry = {
@@ -404,12 +468,13 @@ def cmd_bench(args) -> int:
         )
 
     # Full pairwise distance matrix (the OPTICS workload).
-    start = time.perf_counter()
-    matrix_batch = pairwise_matrix(sets, capacity=k)
-    batched = time.perf_counter() - start
-    start = time.perf_counter()
-    matrix_pp = pairwise_distance_matrix(sets, min_matching_distance)
-    per_pair = time.perf_counter() - start
+    matrix_batch, batched = timed(
+        "pairwise_matrix.batched", lambda: pairwise_matrix(sets, capacity=k)
+    )
+    matrix_pp, per_pair = timed(
+        "pairwise_matrix.per_pair",
+        lambda: pairwise_distance_matrix(sets, min_matching_distance),
+    )
     if not np.allclose(matrix_batch, matrix_pp, atol=1e-9):
         raise ReproError("batched pairwise matrix disagrees with per-pair baseline")
     record("pairwise_matrix", per_pair, batched, pairs=n * (n - 1) // 2)
@@ -420,12 +485,14 @@ def cmd_bench(args) -> int:
         sets, capacity=k, exact_distance=min_matching_distance
     )
     queries = sets[:n_queries]
-    start = time.perf_counter()
-    results_batch = [engine.knn_sequential(q, 10)[0] for q in queries]
-    batched = time.perf_counter() - start
-    start = time.perf_counter()
-    results_pp = [engine_pp.knn_sequential(q, 10)[0] for q in queries]
-    per_pair = time.perf_counter() - start
+    results_batch, batched = timed(
+        "knn_sequential.batched",
+        lambda: [engine.knn_sequential(q, 10)[0] for q in queries],
+    )
+    results_pp, per_pair = timed(
+        "knn_sequential.per_pair",
+        lambda: [engine_pp.knn_sequential(q, 10)[0] for q in queries],
+    )
     for got, expected in zip(results_batch, results_pp):
         if [m.object_id for m in got] != [m.object_id for m in expected]:
             raise ReproError("batched knn_sequential disagrees with per-pair baseline")
@@ -434,12 +501,11 @@ def cmd_bench(args) -> int:
     # One query against the whole database (the refinement kernel).
     packed = PackedSets.pack(sets, capacity=k)
     query = sets[0]
-    start = time.perf_counter()
-    dists_batch = match_many(query, packed)
-    batched = time.perf_counter() - start
-    start = time.perf_counter()
-    dists_pp = np.array([min_matching_distance(query, s) for s in sets])
-    per_pair = time.perf_counter() - start
+    dists_batch, batched = timed("match_many.batched", lambda: match_many(query, packed))
+    dists_pp, per_pair = timed(
+        "match_many.per_pair",
+        lambda: np.array([min_matching_distance(query, s) for s in sets]),
+    )
     if not np.allclose(dists_batch, dists_pp, atol=1e-9):
         raise ReproError("match_many disagrees with per-pair baseline")
     record("match_many", per_pair, batched)
@@ -465,12 +531,14 @@ def cmd_bench(args) -> int:
     seq_inc = extract_cover_sequence(grid, single_k, engine="incremental")
     if seq_ref.covers != seq_inc.covers or seq_ref.errors != seq_inc.errors:
         raise ReproError("incremental extraction disagrees with reference oracle")
-    start = time.perf_counter()
-    extract_cover_sequence(grid, single_k, engine="reference")
-    per_pair = time.perf_counter() - start
-    start = time.perf_counter()
-    extract_cover_sequence(grid, single_k, engine="incremental")
-    batched = time.perf_counter() - start
+    _, per_pair = timed(
+        "extract_single.reference",
+        lambda: extract_cover_sequence(grid, single_k, engine="reference"),
+    )
+    _, batched = timed(
+        "extract_single.incremental",
+        lambda: extract_cover_sequence(grid, single_k, engine="incremental"),
+    )
     record(
         "extract_single", per_pair, batched,
         resolution=single_res, covers=single_k,
@@ -487,18 +555,17 @@ def cmd_bench(args) -> int:
     ]
     reference_model = VectorSetModel(k=single_k, engine="reference")
     optimized_model = VectorSetModel(k=single_k)
-    start = time.perf_counter()
-    features_ref = [reference_model.extract(g) for g in grids]
-    per_pair = time.perf_counter() - start
+    features_ref, per_pair = timed(
+        "ingest.reference", lambda: [reference_model.extract(g) for g in grids]
+    )
     cache_root = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
     try:
         cache = FeatureCache(root=cache_root)
         optimized_model.extract_many(grids, n_jobs=args.jobs, cache=cache)
-        start = time.perf_counter()
-        features_opt = optimized_model.extract_many(
-            grids, n_jobs=args.jobs, cache=cache
+        features_opt, batched = timed(
+            "ingest.warm_cache",
+            lambda: optimized_model.extract_many(grids, n_jobs=args.jobs, cache=cache),
         )
-        batched = time.perf_counter() - start
     finally:
         shutil.rmtree(cache_root, ignore_errors=True)
     for got, expected in zip(features_opt, features_ref):
@@ -513,6 +580,49 @@ def cmd_bench(args) -> int:
     args.out.write_text(json.dumps(records, indent=2) + "\n")
     print(f"\nwrote {args.out}")
     return 0
+
+
+def cmd_stats(args) -> int:
+    """Merge metrics snapshots, validate traces, render one report.
+
+    Exit code 1 when any trace is structurally broken (unparseable
+    line, span never closed, negative span duration) or any merged
+    counter is negative — the CI bench-smoke job relies on this.
+    """
+    import json
+
+    from repro.obs.report import (
+        load_metrics,
+        render_report,
+        validate_counters,
+        validate_trace,
+    )
+
+    if not args.metrics and not args.trace:
+        print("nothing to report: pass --metrics and/or --trace files", file=sys.stderr)
+        return 2
+    merged = load_metrics(args.metrics)
+    checks = [validate_trace(path) for path in args.trace]
+    counter_errors = validate_counters(merged)
+    if args.json:
+        payload = merged.snapshot(include_events=False)
+        payload["traces"] = [
+            {
+                "path": check.path,
+                "events": check.events,
+                "spans": check.spans,
+                "by_event": check.by_event,
+                "errors": check.errors,
+            }
+            for check in checks
+        ]
+        payload["errors"] = counter_errors
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_report(merged, checks))
+        for message in counter_errors:
+            print(f"ERROR {message}", file=sys.stderr)
+    return 1 if counter_errors or any(not check.ok for check in checks) else 0
 
 
 def cmd_info(args) -> int:
@@ -551,12 +661,40 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "info": cmd_info,
         "bench": cmd_bench,
+        "stats": cmd_stats,
     }
+    # `stats` consumes metrics/trace files; every other command may
+    # produce them.  Either output flag switches the obs layer on for
+    # exactly this invocation (reset afterwards so embedded callers and
+    # tests never leak state between runs).
+    trace_out = getattr(args, "trace", None) if args.command != "stats" else None
+    metrics_out = getattr(args, "metrics", None) if args.command != "stats" else None
+    observing = trace_out is not None or metrics_out is not None
+    if observing:
+        from repro import obs
+
+        obs.registry().reset()
+        obs.enable()
+        if trace_out is not None:
+            obs.configure_sink(trace_out)
     try:
         return handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if observing:
+            import json
+
+            from repro import obs
+
+            if metrics_out is not None:
+                snapshot = obs.registry().snapshot(include_events=False)
+                Path(metrics_out).parent.mkdir(parents=True, exist_ok=True)
+                Path(metrics_out).write_text(json.dumps(snapshot, indent=2) + "\n")
+            obs.close_sink()
+            obs.registry().reset()
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.exceptions import ReproError
+from repro.obs import counter, emit, span
 
 #: Returns all distances from object *i* to the whole database.
 DistanceRows = Callable[[int], np.ndarray]
@@ -97,7 +98,9 @@ def distance_rows_from_function(
     def rows(i: int) -> np.ndarray:
         if i in cache:
             cache.move_to_end(i)
+            counter("optics.row_cache_hits").inc()
             return cache[i]
+        counter("optics.row_cache_misses").inc()
         row = compute(i)
         cache[i] = row
         if len(cache) > max_cache_rows:
@@ -124,11 +127,11 @@ def distance_rows_from_sets(
     """
     from repro.core.batch import pairwise_matrix
 
-    return distance_rows_from_matrix(
-        pairwise_matrix(
+    with span("cluster.pairwise_matrix", n=len(sets), jobs=n_jobs):
+        matrix = pairwise_matrix(
             sets, capacity=capacity, omega=omega, backend=backend, n_jobs=n_jobs
         )
-    )
+    return distance_rows_from_matrix(matrix)
 
 
 def optics(
@@ -186,17 +189,25 @@ def optics(
             reachability[update] = new_reach[update]
         order_core.append(core_distance[index])
 
-    while len(order) < n_objects:
-        pending = ~processed
-        candidates = np.nonzero(pending)[0]
-        finite = reachability[candidates] < np.inf
-        if finite.any():
-            # Expand the seed with the smallest reachability...
-            best = candidates[np.argmin(reachability[candidates])]
-        else:
-            # ...or start a fresh component at the lowest unprocessed index.
-            best = candidates[0]
-        process(int(best))
+    # Progress events fire roughly every 10% of the expansion (always at
+    # the end), so long cluster runs are visible in the trace.
+    progress_step = max(1, n_objects // 10)
+    with span("cluster.optics", n=n_objects, min_pts=min_pts):
+        while len(order) < n_objects:
+            pending = ~processed
+            candidates = np.nonzero(pending)[0]
+            finite = reachability[candidates] < np.inf
+            if finite.any():
+                # Expand the seed with the smallest reachability...
+                best = candidates[np.argmin(reachability[candidates])]
+            else:
+                # ...or start a fresh component at the lowest unprocessed index.
+                best = candidates[0]
+            process(int(best))
+            counter("optics.processed").inc()
+            done = len(order)
+            if done % progress_step == 0 or done == n_objects:
+                emit("optics_progress", processed=done, total=n_objects)
 
     return ClusterOrdering(
         order=np.asarray(order),

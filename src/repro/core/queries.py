@@ -50,6 +50,7 @@ from repro.core.batch import DEFAULT_CHUNK_SIZE, PackedSets, match_pairs
 from repro.core.centroid import extended_centroid
 from repro.core.vector_set import VectorSet
 from repro.exceptions import QueryError
+from repro.obs import emit, registry, span
 
 #: A ranker yields (object id, centroid distance) in ascending centroid
 #: distance; spatial indexes plug in here.
@@ -84,6 +85,33 @@ class QueryStats:
     exact_computations: int = 0
     pruned: int = 0
     extra_refinements: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat numeric mapping (the shared stats protocol with
+        :class:`repro.index.pages.IOCost`): feeds the metrics registry
+        via ``registry().count_many(prefix, stats.as_dict())``."""
+        return {
+            "candidates_ranked": self.candidates_ranked,
+            "exact_computations": self.exact_computations,
+            "pruned": self.pruned,
+            "extra_refinements": self.extra_refinements,
+        }
+
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Accumulate another query's accounting in place."""
+        self.candidates_ranked += other.candidates_ranked
+        self.exact_computations += other.exact_computations
+        self.pruned += other.pruned
+        self.extra_refinements += other.extra_refinements
+        return self
+
+    def __str__(self) -> str:
+        total = self.exact_computations + self.pruned
+        return (
+            f"ranked {self.candidates_ranked}, refined "
+            f"{self.exact_computations}/{total} ({self.pruned} pruned, "
+            f"{self.extra_refinements} overshoot)"
+        )
 
 
 @dataclass(frozen=True)
@@ -220,6 +248,25 @@ class FilterRefineEngine:
             )
         return np.array([self._exact(query_arr, self._sets[oid]) for oid in ids])
 
+    # -- telemetry ---------------------------------------------------------
+
+    def _record_query(self, kind: str, stats: QueryStats, **extra) -> None:
+        """Per-query telemetry: registry counters + one ``query`` event.
+
+        The event carries exactly the fields of ``stats.as_dict()`` (so
+        trace consumers see the same numbers the caller gets back) plus
+        the filter selectivity ``exact_computations / n``.
+        """
+        reg = registry()
+        if not reg.enabled:
+            return
+        n = len(self._sets)
+        selectivity = stats.exact_computations / n
+        reg.counter("query.count").inc()
+        reg.count_many("query.", stats.as_dict())
+        reg.histogram("query.selectivity").observe(selectivity)
+        emit("query", kind=kind, n=n, selectivity=selectivity, **stats.as_dict(), **extra)
+
     # -- queries -----------------------------------------------------------
 
     def range_query(
@@ -237,26 +284,32 @@ class FilterRefineEngine:
         if epsilon < 0:
             raise QueryError("epsilon must be non-negative")
         stats = QueryStats()
-        query_arr = self._query_array(query)
-        center = self._query_centroid(query)
-        ranking = (centroid_ranker or self._scan_ranking)(center)
-        cutoff = epsilon / self.capacity
-        candidate_ids: list[int] = []
-        for object_id, centroid_dist in ranking:
-            stats.candidates_ranked += 1
-            if centroid_dist > cutoff:
-                break  # ranking is ascending: everything after is pruned too
-            candidate_ids.append(object_id)
-        prepared = self._prepare_query(query_arr)
-        results: list[QueryMatch] = []
-        for start in range(0, len(candidate_ids), DEFAULT_CHUNK_SIZE):
-            chunk = candidate_ids[start : start + DEFAULT_CHUNK_SIZE]
-            stats.exact_computations += len(chunk)
-            for object_id, exact in zip(chunk, self._refine_many(prepared, query_arr, chunk)):
-                if exact <= epsilon:
-                    results.append(QueryMatch(object_id, float(exact)))
-        stats.pruned = len(self._sets) - stats.exact_computations
-        results.sort(key=lambda match: (match.distance, match.object_id))
+        with span("query.range", epsilon=epsilon) as sp:
+            query_arr = self._query_array(query)
+            center = self._query_centroid(query)
+            ranking = (centroid_ranker or self._scan_ranking)(center)
+            cutoff = epsilon / self.capacity
+            candidate_ids: list[int] = []
+            for object_id, centroid_dist in ranking:
+                stats.candidates_ranked += 1
+                if centroid_dist > cutoff:
+                    break  # ranking is ascending: everything after is pruned too
+                candidate_ids.append(object_id)
+            prepared = self._prepare_query(query_arr)
+            results: list[QueryMatch] = []
+            for start in range(0, len(candidate_ids), DEFAULT_CHUNK_SIZE):
+                chunk = candidate_ids[start : start + DEFAULT_CHUNK_SIZE]
+                stats.exact_computations += len(chunk)
+                registry().histogram("query.block_candidates").observe(len(chunk))
+                with span("query.refine", candidates=len(chunk)):
+                    exacts = self._refine_many(prepared, query_arr, chunk)
+                for object_id, exact in zip(chunk, exacts):
+                    if exact <= epsilon:
+                        results.append(QueryMatch(object_id, float(exact)))
+            stats.pruned = len(self._sets) - stats.exact_computations
+            results.sort(key=lambda match: (match.distance, match.object_id))
+            sp.set(results=len(results))
+        self._record_query("range", stats, epsilon=epsilon, results=len(results))
         return results, stats
 
     def knn_query(
@@ -279,56 +332,63 @@ class FilterRefineEngine:
         if n_neighbors < 1:
             raise QueryError("n_neighbors must be >= 1")
         stats = QueryStats()
-        query_arr = self._query_array(query)
-        center = self._query_centroid(query)
-        ranking = (centroid_ranker or self._scan_ranking)(center)
-        prepared = self._prepare_query(query_arr)
-        # Max-heap (negated distances) of the best n candidates so far.
-        heap: list[tuple[float, int]] = []
-        pending: list[tuple[int, float]] = []
-        stop = False
+        with span("query.knn", k=n_neighbors) as sp:
+            query_arr = self._query_array(query)
+            center = self._query_centroid(query)
+            ranking = (centroid_ranker or self._scan_ranking)(center)
+            prepared = self._prepare_query(query_arr)
+            # Max-heap (negated distances) of the best n candidates so far.
+            heap: list[tuple[float, int]] = []
+            pending: list[tuple[int, float]] = []
+            stop = False
 
-        def flush() -> None:
-            """Refine the pending block and replay the sequential walk."""
-            nonlocal stop
-            if not pending:
-                return
-            ids = [object_id for object_id, _ in pending]
-            stats.exact_computations += len(ids)
-            exacts = self._refine_many(prepared, query_arr, ids)
-            for (object_id, lower_bound), exact in zip(pending, exacts):
-                # The sequential algorithm would have stopped here; this
-                # and every later refinement of the block is overshoot.
-                # (Provably harmless: exact >= lower_bound >= radius, so
-                # none of them can displace a heap entry.)
-                if stop or (len(heap) == n_neighbors and lower_bound >= -heap[0][0]):
-                    stop = True
-                    stats.extra_refinements += 1
-                    continue
-                exact = float(exact)
-                if len(heap) < n_neighbors:
-                    heapq.heappush(heap, (-exact, object_id))
-                elif exact < -heap[0][0]:
-                    heapq.heapreplace(heap, (-exact, object_id))
-            pending.clear()
+            def flush() -> None:
+                """Refine the pending block and replay the sequential walk."""
+                nonlocal stop
+                if not pending:
+                    return
+                ids = [object_id for object_id, _ in pending]
+                stats.exact_computations += len(ids)
+                registry().histogram("query.block_candidates").observe(len(ids))
+                with span("query.refine", candidates=len(ids)):
+                    exacts = self._refine_many(prepared, query_arr, ids)
+                for (object_id, lower_bound), exact in zip(pending, exacts):
+                    # The sequential algorithm would have stopped here; this
+                    # and every later refinement of the block is overshoot.
+                    # (Provably harmless: exact >= lower_bound >= radius, so
+                    # none of them can displace a heap entry.)
+                    if stop or (
+                        len(heap) == n_neighbors and lower_bound >= -heap[0][0]
+                    ):
+                        stop = True
+                        stats.extra_refinements += 1
+                        continue
+                    exact = float(exact)
+                    if len(heap) < n_neighbors:
+                        heapq.heappush(heap, (-exact, object_id))
+                    elif exact < -heap[0][0]:
+                        heapq.heapreplace(heap, (-exact, object_id))
+                pending.clear()
 
-        for object_id, centroid_dist in ranking:
-            stats.candidates_ranked += 1
-            lower_bound = self.capacity * centroid_dist
-            # Radius is stale while a block is pending (it can only have
-            # shrunk since), so firing here means the sequential
-            # algorithm stopped at or before this candidate.
-            if len(heap) == n_neighbors and lower_bound >= -heap[0][0]:
-                break
-            pending.append((object_id, lower_bound))
-            if len(pending) >= self.block_size:
-                flush()
-                if stop:
+            for object_id, centroid_dist in ranking:
+                stats.candidates_ranked += 1
+                lower_bound = self.capacity * centroid_dist
+                # Radius is stale while a block is pending (it can only have
+                # shrunk since), so firing here means the sequential
+                # algorithm stopped at or before this candidate.
+                if len(heap) == n_neighbors and lower_bound >= -heap[0][0]:
                     break
-        flush()
-        stats.pruned = len(self._sets) - stats.exact_computations
-        results = [QueryMatch(obj, -neg) for neg, obj in heap]
-        results.sort(key=lambda match: (match.distance, match.object_id))
+                pending.append((object_id, lower_bound))
+                if len(pending) >= self.block_size:
+                    flush()
+                    if stop:
+                        break
+            flush()
+            stats.pruned = len(self._sets) - stats.exact_computations
+            results = [QueryMatch(obj, -neg) for neg, obj in heap]
+            results.sort(key=lambda match: (match.distance, match.object_id))
+            sp.set(results=len(results))
+        self._record_query("knn", stats, k=n_neighbors)
         return results, stats
 
     def knn_sequential(
@@ -339,23 +399,27 @@ class FilterRefineEngine:
         the batched kernel in database order."""
         if n_neighbors < 1:
             raise QueryError("n_neighbors must be >= 1")
-        query_arr = self._query_array(query)
-        prepared = self._prepare_query(query_arr)
-        n = len(self._sets)
-        stats = QueryStats(candidates_ranked=n, exact_computations=n)
-        all_ids = list(range(n))
-        exacts = np.concatenate(
-            [
-                np.atleast_1d(
-                    self._refine_many(
-                        prepared, query_arr, all_ids[start : start + DEFAULT_CHUNK_SIZE]
+        with span("query.scan", k=n_neighbors):
+            query_arr = self._query_array(query)
+            prepared = self._prepare_query(query_arr)
+            n = len(self._sets)
+            stats = QueryStats(candidates_ranked=n, exact_computations=n)
+            all_ids = list(range(n))
+            exacts = np.concatenate(
+                [
+                    np.atleast_1d(
+                        self._refine_many(
+                            prepared,
+                            query_arr,
+                            all_ids[start : start + DEFAULT_CHUNK_SIZE],
+                        )
                     )
-                )
-                for start in range(0, n, DEFAULT_CHUNK_SIZE)
-            ]
-        )
-        order = np.lexsort((np.arange(n), exacts))[:n_neighbors]
-        results = [QueryMatch(int(idx), float(exacts[idx])) for idx in order]
+                    for start in range(0, n, DEFAULT_CHUNK_SIZE)
+                ]
+            )
+            order = np.lexsort((np.arange(n), exacts))[:n_neighbors]
+            results = [QueryMatch(int(idx), float(exacts[idx])) for idx in order]
+        self._record_query("scan", stats, k=n_neighbors)
         return results, stats
 
     def knn_query_many(
@@ -403,63 +467,66 @@ class FilterRefineEngine:
             state.done = False
             states.append(state)
 
-        while True:
-            qi_idx: list[int] = []
-            oid_idx: list[int] = []
-            blocks: list[tuple[int, list[tuple[int, float]]]] = []
-            for qi, state in enumerate(states):
-                if state.done:
-                    continue
-                block: list[tuple[int, float]] = []
-                while state.pos < n_objects and len(block) < self.block_size:
-                    object_id = int(state.order[state.pos])
-                    state.pos += 1
-                    state.stats.candidates_ranked += 1
-                    lower_bound = self.capacity * float(state.dists[object_id])
-                    if (
-                        len(state.heap) == n_neighbors
-                        and lower_bound >= -state.heap[0][0]
-                    ):
-                        state.done = True
-                        break
-                    block.append((object_id, lower_bound))
-                if state.pos >= n_objects:
-                    state.done = True
-                if block:
-                    blocks.append((qi, block))
-                    for object_id, _ in block:
-                        qi_idx.append(qi)
-                        oid_idx.append(object_id)
-            if not blocks:
-                break
-            exacts = match_pairs(
-                packed_queries,
-                np.asarray(qi_idx, dtype=np.intp),
-                np.asarray(oid_idx, dtype=np.intp),
-                right=self._packed,
-                backend=self.backend,
-            )
-            offset = 0
-            for qi, block in blocks:
-                state = states[qi]
-                state.stats.exact_computations += len(block)
-                for (object_id, lower_bound), exact in zip(
-                    block, exacts[offset : offset + len(block)]
-                ):
-                    if state.stop or (
-                        len(state.heap) == n_neighbors
-                        and lower_bound >= -state.heap[0][0]
-                    ):
-                        state.stop = True
-                        state.done = True
-                        state.stats.extra_refinements += 1
+        with span("query.knn_many", queries=len(queries), k=n_neighbors):
+            while True:
+                qi_idx: list[int] = []
+                oid_idx: list[int] = []
+                blocks: list[tuple[int, list[tuple[int, float]]]] = []
+                for qi, state in enumerate(states):
+                    if state.done:
                         continue
-                    exact = float(exact)
-                    if len(state.heap) < n_neighbors:
-                        heapq.heappush(state.heap, (-exact, object_id))
-                    elif exact < -state.heap[0][0]:
-                        heapq.heapreplace(state.heap, (-exact, object_id))
-                offset += len(block)
+                    block: list[tuple[int, float]] = []
+                    while state.pos < n_objects and len(block) < self.block_size:
+                        object_id = int(state.order[state.pos])
+                        state.pos += 1
+                        state.stats.candidates_ranked += 1
+                        lower_bound = self.capacity * float(state.dists[object_id])
+                        if (
+                            len(state.heap) == n_neighbors
+                            and lower_bound >= -state.heap[0][0]
+                        ):
+                            state.done = True
+                            break
+                        block.append((object_id, lower_bound))
+                    if state.pos >= n_objects:
+                        state.done = True
+                    if block:
+                        blocks.append((qi, block))
+                        for object_id, _ in block:
+                            qi_idx.append(qi)
+                            oid_idx.append(object_id)
+                if not blocks:
+                    break
+                registry().histogram("query.block_candidates").observe(len(qi_idx))
+                with span("query.refine", candidates=len(qi_idx), queries=len(blocks)):
+                    exacts = match_pairs(
+                        packed_queries,
+                        np.asarray(qi_idx, dtype=np.intp),
+                        np.asarray(oid_idx, dtype=np.intp),
+                        right=self._packed,
+                        backend=self.backend,
+                    )
+                offset = 0
+                for qi, block in blocks:
+                    state = states[qi]
+                    state.stats.exact_computations += len(block)
+                    for (object_id, lower_bound), exact in zip(
+                        block, exacts[offset : offset + len(block)]
+                    ):
+                        if state.stop or (
+                            len(state.heap) == n_neighbors
+                            and lower_bound >= -state.heap[0][0]
+                        ):
+                            state.stop = True
+                            state.done = True
+                            state.stats.extra_refinements += 1
+                            continue
+                        exact = float(exact)
+                        if len(state.heap) < n_neighbors:
+                            heapq.heappush(state.heap, (-exact, object_id))
+                        elif exact < -state.heap[0][0]:
+                            heapq.heapreplace(state.heap, (-exact, object_id))
+                    offset += len(block)
 
         output: list[tuple[list[QueryMatch], QueryStats]] = []
         for state in states:
@@ -467,6 +534,7 @@ class FilterRefineEngine:
             results = [QueryMatch(obj, -neg) for neg, obj in state.heap]
             results.sort(key=lambda match: (match.distance, match.object_id))
             output.append((results, state.stats))
+            self._record_query("knn", state.stats, k=n_neighbors)
         return output
 
     # Alias kept for throughput-oriented callers.

@@ -39,6 +39,7 @@ from repro.features.vector_set_model import VectorSetModel
 from repro.geometry.transform import symmetry_matrices
 from repro.index.pages import PageManager
 from repro.index.xtree import XTree
+from repro.obs import emit, span
 
 
 @dataclass
@@ -114,16 +115,25 @@ def run_one_vector_xtree(
 
     results = []
     start = time.perf_counter()
-    for qid in queries:
-        top = _TopK(k_nn)
-        for variant in _query_variants(query_sets[qid], variants):
-            flat = np.zeros((k, 6))
-            flat[: len(variant)] = variant
-            for oid, dist in tree.incremental_nearest(flat.reshape(-1)):
-                if dist >= top.radius():
-                    break  # ranking ascends: variant exhausted
-                top.offer(oid, dist)
-        results.append(top.results())
+    with span("table2.one_vector_xtree", queries=len(queries)):
+        for qid in queries:
+            before = pages.cost.copy()
+            top = _TopK(k_nn)
+            for variant in _query_variants(query_sets[qid], variants):
+                flat = np.zeros((k, 6))
+                flat[: len(variant)] = variant
+                for oid, dist in tree.incremental_nearest(flat.reshape(-1)):
+                    if dist >= top.radius():
+                        break  # ranking ascends: variant exhausted
+                    top.offer(oid, dist)
+            results.append(top.results())
+            emit(
+                "table2_query",
+                method="1-Vect. (X-tree)",
+                query=int(qid),
+                page_accesses=pages.cost.page_accesses - before.page_accesses,
+                bytes_read=pages.cost.bytes_read - before.bytes_read,
+            )
     cpu = time.perf_counter() - start
     cost = pages.reset()
     row = Table2Row(
@@ -173,17 +183,28 @@ def run_vector_set_filter(
     refinements = 0
     results = []
     start = time.perf_counter()
-    for qid in queries:
-        top = _TopK(k_nn)
-        for variant in _query_variants(sets[qid], variants):
-            query_centroid = extended_centroid(variant, k)
-            for oid, centroid_dist in tree.incremental_nearest(query_centroid):
-                if k * centroid_dist >= top.radius():
-                    break  # Lemma 2: no later candidate can qualify
-                pages.read(object_pages[oid])
-                refinements += 1
-                top.offer(oid, min_matching_distance(variant, sets[oid]))
-        results.append(top.results())
+    with span("table2.vector_set_filter", queries=len(queries)):
+        for qid in queries:
+            before = pages.cost.copy()
+            refined_before = refinements
+            top = _TopK(k_nn)
+            for variant in _query_variants(sets[qid], variants):
+                query_centroid = extended_centroid(variant, k)
+                for oid, centroid_dist in tree.incremental_nearest(query_centroid):
+                    if k * centroid_dist >= top.radius():
+                        break  # Lemma 2: no later candidate can qualify
+                    pages.read(object_pages[oid])
+                    refinements += 1
+                    top.offer(oid, min_matching_distance(variant, sets[oid]))
+            results.append(top.results())
+            emit(
+                "table2_query",
+                method="Vect. Set w. filter",
+                query=int(qid),
+                page_accesses=pages.cost.page_accesses - before.page_accesses,
+                bytes_read=pages.cost.bytes_read - before.bytes_read,
+                refinements=refinements - refined_before,
+            )
     cpu = time.perf_counter() - start
     cost = pages.reset()
     row = Table2Row(
@@ -218,14 +239,23 @@ def run_vector_set_scan(
     computations = 0
     results = []
     start = time.perf_counter()
-    for qid in queries:
-        pages.read_bytes(total_bytes)
-        best = np.full(len(sets), np.inf)
-        for variant in _query_variants(sets[qid], variants):
-            computations += len(sets)
-            np.minimum(best, match_many(variant, packed), out=best)
-        order = np.lexsort((np.arange(len(sets)), best))[:k_nn]
-        results.append([(int(oid), float(best[oid])) for oid in order])
+    with span("table2.vector_set_scan", queries=len(queries)):
+        for qid in queries:
+            before = pages.cost.copy()
+            pages.read_bytes(total_bytes)
+            best = np.full(len(sets), np.inf)
+            for variant in _query_variants(sets[qid], variants):
+                computations += len(sets)
+                np.minimum(best, match_many(variant, packed), out=best)
+            order = np.lexsort((np.arange(len(sets)), best))[:k_nn]
+            results.append([(int(oid), float(best[oid])) for oid in order])
+            emit(
+                "table2_query",
+                method="Vect. Set seq. scan",
+                query=int(qid),
+                page_accesses=pages.cost.page_accesses - before.page_accesses,
+                bytes_read=pages.cost.bytes_read - before.bytes_read,
+            )
     cpu = time.perf_counter() - start
     cost = pages.reset()
     row = Table2Row(

@@ -109,7 +109,7 @@ class FeatureModel(ABC):
         each outcome instead of losing the whole batch to one bad grid.
         Failed extractions are never cached.
         """
-        from repro.parallel import resolve_n_jobs, shared_pool
+        from repro.parallel import pool_map, resolve_n_jobs
 
         jobs = resolve_n_jobs(n_jobs)
         results: list[tuple[bool, object] | None] = [None] * len(grids)
@@ -122,14 +122,12 @@ class FeatureModel(ABC):
                 pending.append(index)
         if pending:
             if jobs > 1 and len(pending) > 1:
-                pool = shared_pool(min(jobs, len(pending)))
                 chunk = max(1, len(pending) // (4 * jobs))
-                outcomes = list(
-                    pool.map(
-                        _extract_outcome,
-                        [(self, grids[i]) for i in pending],
-                        chunksize=chunk,
-                    )
+                outcomes = pool_map(
+                    _extract_outcome,
+                    [(self, grids[i]) for i in pending],
+                    jobs,
+                    chunksize=chunk,
                 )
             else:
                 outcomes = [_extract_outcome((self, grids[i])) for i in pending]

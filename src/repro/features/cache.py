@@ -12,8 +12,16 @@ The cache lives under ``$REPRO_CACHE_DIR/features`` (default
 ``.repro_cache/features``); writes are atomic (unique temp file +
 ``os.replace``, the same pattern the object database uses), corrupt or
 truncated entries read as misses and are re-extracted, and hit/miss
-counters can be merged into a cumulative ``stats.json`` for ``repro
-info``.
+counters accumulate for ``repro info``.
+
+Counter persistence is race-free under concurrent ``--jobs`` ingests:
+each :meth:`FeatureCache.flush_stats` writes its counters as an
+*atomic, uniquely named delta file* under ``stats.d/`` instead of
+read-modify-writing a shared ``stats.json`` (which could drop
+increments when two processes raced).  Readers sum the delta files plus
+the compacted ``stats.json``; compaction folds deltas into
+``stats.json`` under an ``O_EXCL`` lock and records the folded file
+names so a reader racing the compactor never counts a delta twice.
 """
 
 from __future__ import annotations
@@ -22,10 +30,12 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.obs import counter
 from repro.voxel.grid import VoxelGrid
 
 #: Version tag mixed into every key; bump to invalidate all entries when
@@ -101,8 +111,10 @@ class FeatureCache:
                 pass
             else:
                 self.hits += 1
+                counter("cache.hits").inc()
                 return feature
         self.misses += 1
+        counter("cache.misses").inc()
         return None
 
     def put(self, grid: VoxelGrid, model, feature: np.ndarray) -> None:
@@ -126,43 +138,149 @@ class FeatureCache:
     # -- statistics ----------------------------------------------------------
 
     def flush_stats(self) -> None:
-        """Merge this instance's counters into the cumulative stats file.
+        """Persist this instance's counters as an atomic delta file.
 
-        Best-effort: a read-only or contended cache directory must not
-        fail the extraction that produced the features.
+        Concurrency-safe by construction: every flush creates its own
+        uniquely named file under ``stats.d/`` (temp file +
+        ``os.replace``), so concurrent ``--jobs`` ingests can never lose
+        each other's increments the way a shared read-modify-write of
+        ``stats.json`` could.  Best-effort: a read-only or contended
+        cache directory must not fail the extraction that produced the
+        features.
         """
         if not self.enabled or (self.hits == 0 and self.misses == 0):
             return
-        stats_path = self.root / "stats.json"
+        deltas_dir = self.root / STATS_DELTA_DIR
         try:
-            totals = _read_stats(stats_path)
-            totals["hits"] += self.hits
-            totals["misses"] += self.misses
-            stats_path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=stats_path.parent, suffix=".tmp")
+            deltas_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=deltas_dir, suffix=".tmp")
             with os.fdopen(fd, "w") as handle:
-                json.dump(totals, handle)
-            os.replace(tmp, stats_path)
+                json.dump({"hits": self.hits, "misses": self.misses}, handle)
+            os.replace(tmp, Path(tmp).with_suffix(".json"))
         except OSError:
             return
         self.hits = 0
         self.misses = 0
 
 
-def _read_stats(stats_path: Path) -> dict:
+#: Delta files live here (under the cache root); each is one flush.
+STATS_DELTA_DIR = "stats.d"
+
+#: A compaction lock older than this is assumed abandoned and broken.
+STATS_LOCK_TIMEOUT = 60.0
+
+
+def _load_json(path: Path) -> dict | None:
     try:
-        with open(stats_path) as handle:
+        with open(path) as handle:
             data = json.load(handle)
-        return {"hits": int(data["hits"]), "misses": int(data["misses"])}
-    except (OSError, ValueError, KeyError, TypeError):
-        return {"hits": 0, "misses": 0}
+        return data if isinstance(data, dict) else None
+    except (OSError, ValueError):
+        return None
+
+
+def _read_stats(base: Path) -> dict:
+    """Exact cumulative totals: compacted ``stats.json`` + delta files.
+
+    Deltas are scanned *before* ``stats.json`` is read, and any delta
+    named in its ``folded`` list is excluded — so a reader racing a
+    compactor counts every increment exactly once regardless of
+    interleaving (the delta is either still pending, or folded and
+    skipped).
+    """
+    deltas: dict[str, dict] = {}
+    for path in sorted((base / STATS_DELTA_DIR).glob("*.json")):
+        data = _load_json(path)
+        if data is not None:
+            deltas[path.name] = data
+    main = _load_json(base / "stats.json") or {}
+    folded = set(main.get("folded", ()))
+    totals = {"hits": 0, "misses": 0}
+    for key in totals:
+        try:
+            totals[key] = int(main.get(key, 0))
+        except (TypeError, ValueError):
+            totals[key] = 0
+    for name, data in deltas.items():
+        if name in folded:
+            continue
+        for key in totals:
+            try:
+                totals[key] += int(data.get(key, 0))
+            except (TypeError, ValueError):
+                continue
+    return totals
+
+
+def _compact_stats(base: Path) -> None:
+    """Fold delta files into ``stats.json`` (best-effort, lock-guarded).
+
+    Holds an ``O_CREAT | O_EXCL`` lock so at most one compactor runs;
+    the new ``stats.json`` lists the folded delta names *before* the
+    files are deleted, preserving the exactly-once read invariant of
+    :func:`_read_stats`.  Every failure mode simply leaves the deltas
+    in place for the next attempt.
+    """
+    deltas_dir = base / STATS_DELTA_DIR
+    if not deltas_dir.is_dir():
+        return
+    lock = base / "stats.lock"
+    try:
+        if lock.exists() and time.time() - lock.stat().st_mtime > STATS_LOCK_TIMEOUT:
+            lock.unlink()
+    except OSError:
+        pass
+    try:
+        lock_fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except OSError:
+        return  # another compactor is running
+    try:
+        main = _load_json(base / "stats.json") or {}
+        folded = set(main.get("folded", ()))
+        totals = {
+            "hits": int(main.get("hits", 0) or 0),
+            "misses": int(main.get("misses", 0) or 0),
+        }
+        consumed: list[str] = []
+        for path in sorted(deltas_dir.glob("*.json")):
+            if path.name in folded:
+                consumed.append(path.name)  # folded earlier; just delete
+                continue
+            data = _load_json(path)
+            if data is None:
+                continue
+            totals["hits"] += int(data.get("hits", 0) or 0)
+            totals["misses"] += int(data.get("misses", 0) or 0)
+            consumed.append(path.name)
+        if not consumed:
+            return
+        totals["folded"] = consumed
+        fd, tmp = tempfile.mkstemp(dir=base, suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            json.dump(totals, handle)
+        os.replace(tmp, base / "stats.json")
+        for name in consumed:
+            try:
+                (deltas_dir / name).unlink()
+            except OSError:
+                pass
+    except OSError:
+        return
+    finally:
+        os.close(lock_fd)
+        try:
+            lock.unlink()
+        except OSError:
+            pass
 
 
 def cache_info(root: str | Path | None = None) -> dict:
     """Summary of the on-disk cache for ``repro info``.
 
     Returns entry count, total bytes and the cumulative hit/miss
-    counters that :meth:`FeatureCache.flush_stats` maintains.
+    counters that :meth:`FeatureCache.flush_stats` maintains.  Reading
+    also opportunistically compacts pending delta files into
+    ``stats.json`` (lock-guarded, exact under races).
     """
     base = Path(root) if root is not None else default_cache_root()
     entries = 0
@@ -174,7 +292,8 @@ def cache_info(root: str | Path | None = None) -> dict:
             except OSError:
                 continue
             entries += 1
-    totals = _read_stats(base / "stats.json")
+    _compact_stats(base)
+    totals = _read_stats(base)
     return {
         "root": str(base),
         "entries": entries,

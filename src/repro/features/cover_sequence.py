@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.exceptions import FeatureError
 from repro.features.base import FeatureModel
+from repro.obs import counter, histogram, span
 from repro.voxel.grid import VoxelGrid
 
 #: Approximate peak-memory budget (bytes) of one blocked max-sum-box
@@ -632,12 +633,14 @@ def _extract_reference(
     errors = [int(target.sum())]
 
     for _ in range(k):
+        counter("extract.iterations").inc()
         uncovered = ~state
         # "+": object voxels not yet covered are gains, empty voxels
         # not yet covered would become errors.
         weight_add = (target & uncovered).astype(np.int8) - (
             ~target & uncovered
         ).astype(np.int8)
+        counter("extract.searches").inc()
         gain_add, lo_add, hi_add = max_sum_box(weight_add, engine="reference")
 
         gain_sub = -np.inf
@@ -647,6 +650,7 @@ def _extract_reference(
             weight_sub = (state & ~target).astype(np.int8) - (state & target).astype(
                 np.int8
             )
+            counter("extract.searches").inc()
             gain_sub, lo_sub, hi_sub = max_sum_box(weight_sub, engine="reference")
 
         if max(gain_add, gain_sub) <= 0:
@@ -706,16 +710,24 @@ def _extract_incremental(
     sub_cache = _PairValueCache()
 
     for _ in range(k):
+        counter("extract.iterations").inc()
         gain_add = -np.inf
         if uncovered_target:
+            counter("extract.searches").inc()
             gain_add, lo_add, hi_add = max_sum_box(
                 weight_add, block_bytes, _cache=add_cache
             )
+        else:
+            counter("extract.searches_skipped").inc()
         gain_sub = -np.inf
-        if allow_subtraction and covers and wrongly_covered:
-            gain_sub, lo_sub, hi_sub = max_sum_box(
-                weight_sub, block_bytes, _cache=sub_cache
-            )
+        if allow_subtraction and covers:
+            if wrongly_covered:
+                counter("extract.searches").inc()
+                gain_sub, lo_sub, hi_sub = max_sum_box(
+                    weight_sub, block_bytes, _cache=sub_cache
+                )
+            else:
+                counter("extract.searches_skipped").inc()
 
         if max(gain_add, gain_sub) <= 0:
             break
@@ -796,13 +808,18 @@ def extract_cover_sequence(
         raise FeatureError("need k >= 1 covers")
     if grid.is_empty():
         raise FeatureError("cannot extract covers from an empty grid")
-    if engine == "incremental":
-        return _extract_incremental(grid, k, allow_subtraction, block_bytes)
-    if engine == "reference":
-        return _extract_reference(grid, k, allow_subtraction)
-    raise FeatureError(
-        f"unknown extraction engine {engine!r}; choose from {EXTRACTION_ENGINES}"
-    )
+    if engine not in EXTRACTION_ENGINES:
+        raise FeatureError(
+            f"unknown extraction engine {engine!r}; choose from {EXTRACTION_ENGINES}"
+        )
+    with span("extract", engine=engine, k=k, resolution=grid.resolution):
+        if engine == "incremental":
+            sequence = _extract_incremental(grid, k, allow_subtraction, block_bytes)
+        else:
+            sequence = _extract_reference(grid, k, allow_subtraction)
+    counter("extract.objects").inc()
+    histogram("extract.covers").observe(len(sequence.covers))
+    return sequence
 
 
 class CoverSequenceModel(FeatureModel):

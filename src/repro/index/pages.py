@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import IndexError_
+from repro.obs import counter
 
 #: The paper's cost constants.
 SECONDS_PER_PAGE_ACCESS = 8e-3
@@ -45,6 +46,22 @@ class IOCost:
 
     def copy(self) -> "IOCost":
         return IOCost(self.page_accesses, self.bytes_read)
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat numeric mapping (the shared stats protocol with
+        :class:`repro.core.queries.QueryStats`)."""
+        return {"page_accesses": self.page_accesses, "bytes_read": self.bytes_read}
+
+    def merge(self, other: "IOCost") -> "IOCost":
+        """Accumulate another cost in place (protocol alias of :meth:`add`)."""
+        self.add(other)
+        return self
+
+    def __str__(self) -> str:
+        return (
+            f"{self.page_accesses} page accesses, {self.bytes_read} bytes "
+            f"({self.seconds() * 1e3:.1f} ms simulated)"
+        )
 
 
 @dataclass
@@ -92,14 +109,19 @@ class PageManager:
         spans = max(1, -(-nbytes // self.page_size))
         self.cost.page_accesses += spans
         self.cost.bytes_read += nbytes
+        counter("io.page_accesses").inc(spans)
+        counter("io.bytes_read").inc(nbytes)
 
     def read_bytes(self, nbytes: int) -> None:
         """Record a raw sequential read of *nbytes* (for scan baselines):
         pages are derived from the byte count."""
         if nbytes < 0:
             raise IndexError_("cannot read a negative number of bytes")
-        self.cost.page_accesses += max(1, -(-nbytes // self.page_size)) if nbytes else 0
+        spans = max(1, -(-nbytes // self.page_size)) if nbytes else 0
+        self.cost.page_accesses += spans
         self.cost.bytes_read += nbytes
+        counter("io.page_accesses").inc(spans)
+        counter("io.bytes_read").inc(nbytes)
 
     def reset(self) -> IOCost:
         """Zero the counters and return the previous totals."""

@@ -1,0 +1,322 @@
+"""Process-wide metrics registry: counters, gauges, bounded histograms.
+
+The registry is the accumulation point of the observability layer
+(:mod:`repro.obs`): hot paths increment named counters, set gauges and
+observe histogram samples; the CLI serializes one :meth:`snapshot` per
+run and ``repro stats`` merges any number of snapshots back into a
+report.  Everything is designed around two invariants:
+
+* **Disabled means free.**  While the registry is disabled (the
+  default), ``counter()``/``gauge()``/``histogram()`` return shared
+  null instruments whose mutators are empty methods — instrumented hot
+  paths pay an attribute check and a no-op call, nothing else, and the
+  registry itself stays empty.
+* **Merging is exact for counters.**  Snapshots are plain JSON-able
+  dicts; merging sums counters and histogram counts/sums, so totals
+  aggregated across worker processes (see :func:`capture_deltas` and
+  :func:`repro.parallel.pool_map`) equal the serial run exactly.
+  Histogram *quantiles* are estimates over a deterministic
+  stride-sampled reservoir and merge approximately.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+
+#: Reservoir size per histogram; quantiles are estimated over at most
+#: this many stride-sampled observations.
+DEFAULT_RESERVOIR = 256
+
+#: Events buffered in the registry when no trace sink is configured
+#: (worker processes); older events are kept, overflow is counted.
+MAX_BUFFERED_EVENTS = 10_000
+
+
+class Counter:
+    """A monotonically growing named total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Exact count/sum/min/max plus a bounded, deterministic reservoir.
+
+    The reservoir keeps every ``stride``-th observation; when it
+    overflows, every other sample is dropped and the stride doubles —
+    no randomness, so repeated runs produce identical snapshots.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples", "max_samples", "_stride")
+
+    def __init__(self, max_samples: int = DEFAULT_RESERVOIR) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples: list[float] = []
+        self.max_samples = max_samples
+        self._stride = 1
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self.count % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > self.max_samples:
+                self.samples = self.samples[::2]
+                self._stride *= 2
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile from the reservoir (0 for empty)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "samples": list(self.samples),
+        }
+
+    def merge_dict(self, data: dict) -> None:
+        count = int(data.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(data.get("sum", 0.0))
+        low, high = data.get("min"), data.get("max")
+        if low is not None and low < self.min:
+            self.min = float(low)
+        if high is not None and high > self.max:
+            self.max = float(high)
+        merged = self.samples + [float(s) for s in data.get("samples", ())]
+        if len(merged) > self.max_samples:
+            step = -(-len(merged) // self.max_samples)
+            merged = merged[::step]
+        self.samples = merged
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments plus an event buffer for sink-less processes.
+
+    A process normally has exactly one registry (module-level
+    ``_registry``, reached through :func:`registry` and the module-level
+    convenience functions); constructing private instances is useful for
+    merging snapshots offline (``repro stats``).
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.events: list[dict] = []
+        self.dropped_events = 0
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter | _NullCounter:
+        if not self.enabled:
+            return NULL_COUNTER
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge | _NullGauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram | _NullHistogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram())
+
+    def count_many(self, prefix: str, values: dict) -> None:
+        """Fold a flat numeric mapping into prefixed counters.
+
+        The bridge from the ``as_dict()`` protocol of
+        :class:`~repro.core.queries.QueryStats` and
+        :class:`~repro.index.pages.IOCost` into the registry.
+        """
+        if not self.enabled:
+            return
+        for key, value in values.items():
+            if isinstance(value, (int, float)):
+                self.counter(f"{prefix}{key}").inc(value)
+
+    # -- events --------------------------------------------------------------
+
+    def buffer_event(self, record: dict) -> None:
+        """Hold an event until a sink-owning process collects it."""
+        if len(self.events) >= MAX_BUFFERED_EVENTS:
+            self.dropped_events += 1
+            return
+        self.events.append(record)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, include_events: bool = True) -> dict:
+        """A JSON-able copy of every instrument (and buffered events)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.as_dict() for k, h in sorted(self._histograms.items())
+            },
+            "events": list(self.events) if include_events else [],
+        }
+
+    def merge(self, snap: dict) -> None:
+        """Fold a snapshot's instruments in (counters/histograms sum,
+        gauges last-write-wins).  Events are *not* merged here — the
+        caller routes them to the trace sink (see
+        :func:`repro.obs.merge_worker_snapshot`)."""
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snap.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            if isinstance(histogram, Histogram):
+                histogram.merge_dict(data)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self.events.clear()
+            self.dropped_events = 0
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _registry
+
+
+def enabled() -> bool:
+    return _registry.enabled
+
+
+def enable() -> None:
+    _registry.enabled = True
+
+
+def disable() -> None:
+    _registry.enabled = False
+
+
+def counter(name: str):
+    return _registry.counter(name)
+
+
+def gauge(name: str):
+    return _registry.gauge(name)
+
+
+def histogram(name: str):
+    return _registry.histogram(name)
+
+
+class _Capture:
+    """Holder filled by :func:`capture_deltas` at context exit."""
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self) -> None:
+        self.snapshot: dict | None = None
+
+
+@contextmanager
+def capture_deltas():
+    """Worker-side metric capture around one unit of work.
+
+    Resets the (worker's) process registry, enables it, runs the body,
+    and stores a snapshot of everything the body recorded in the yielded
+    holder.  The registry is reset again afterwards so state never leaks
+    between pool tasks (or from a forked parent).
+    """
+    holder = _Capture()
+    _registry.reset()
+    previous = _registry.enabled
+    _registry.enabled = True
+    try:
+        yield holder
+    finally:
+        holder.snapshot = _registry.snapshot()
+        _registry.reset()
+        _registry.enabled = previous

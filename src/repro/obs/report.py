@@ -1,0 +1,146 @@
+"""Merging, validation and rendering of observability output.
+
+``repro stats`` is a thin CLI wrapper around this module: metrics
+snapshots (the ``--metrics FILE`` JSON documents) merge exactly for
+counters and approximately for histogram quantiles; traces (the
+``--trace FILE`` JSON-lines files) are validated structurally — every
+``span_start`` must have a matching ``span_end``, counters must be
+non-negative — which is also what the CI bench-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def load_metrics(paths: list[str | Path]) -> MetricsRegistry:
+    """Merge any number of metrics-snapshot files into one registry."""
+    merged = MetricsRegistry(enabled=True)
+    for path in paths:
+        try:
+            snap = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot read metrics file {path}: {exc}") from exc
+        if not isinstance(snap, dict):
+            raise ReproError(f"metrics file {path} is not a JSON object")
+        merged.merge(snap)
+    return merged
+
+
+@dataclass
+class TraceCheck:
+    """Structural validation result for one trace file."""
+
+    path: str
+    events: int = 0
+    spans: int = 0
+    by_event: dict = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def validate_trace(path: str | Path) -> TraceCheck:
+    """Check a JSON-lines trace: parseable lines, every span closed."""
+    check = TraceCheck(path=str(path))
+    open_spans: dict[str, str] = {}
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError as exc:
+        check.errors.append(f"cannot read trace: {exc}")
+        return check
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            check.errors.append(f"line {lineno}: not valid JSON")
+            continue
+        if not isinstance(record, dict) or "event" not in record:
+            check.errors.append(f"line {lineno}: record has no 'event' field")
+            continue
+        check.events += 1
+        kind = record["event"]
+        check.by_event[kind] = check.by_event.get(kind, 0) + 1
+        if kind == "span_start":
+            open_spans[record.get("id", f"?{lineno}")] = record.get("name", "?")
+        elif kind == "span_end":
+            span_id = record.get("id")
+            if span_id in open_spans:
+                del open_spans[span_id]
+                check.spans += 1
+            else:
+                check.errors.append(
+                    f"line {lineno}: span_end {record.get('name')!r} "
+                    f"(id={span_id}) without a matching span_start"
+                )
+            if not isinstance(record.get("seconds"), (int, float)) or record["seconds"] < 0:
+                check.errors.append(
+                    f"line {lineno}: span_end without a non-negative 'seconds'"
+                )
+    for span_id, name in open_spans.items():
+        check.errors.append(f"span {name!r} (id={span_id}) never closed")
+    return check
+
+
+def validate_counters(registry: MetricsRegistry) -> list[str]:
+    """Every merged counter must be non-negative."""
+    return [
+        f"counter {name!r} is negative ({counter.value})"
+        for name, counter in sorted(registry._counters.items())
+        if counter.value < 0
+    ]
+
+
+def render_report(
+    registry: MetricsRegistry, checks: list[TraceCheck] | None = None
+) -> str:
+    """Human-readable merged report (the text mode of ``repro stats``)."""
+    lines: list[str] = []
+    snap = registry.snapshot(include_events=False)
+    if snap["counters"]:
+        lines.append("counters:")
+        width = max(len(name) for name in snap["counters"])
+        for name, value in snap["counters"].items():
+            shown = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<{width}}  {shown}")
+    if snap["gauges"]:
+        lines.append("gauges:")
+        width = max(len(name) for name in snap["gauges"])
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    if snap["histograms"]:
+        lines.append("histograms:")
+        width = max(len(name) for name in snap["histograms"])
+        for name in snap["histograms"]:
+            histogram = registry.histogram(name)
+            assert isinstance(histogram, Histogram)
+            if not histogram.count:
+                lines.append(f"  {name:<{width}}  count=0")
+                continue
+            lines.append(
+                f"  {name:<{width}}  count={histogram.count} "
+                f"mean={histogram.mean:.6g} p50={histogram.quantile(0.5):.6g} "
+                f"p90={histogram.quantile(0.9):.6g} max={histogram.max:.6g}"
+            )
+    for check in checks or []:
+        status = "OK" if check.ok else f"{len(check.errors)} error(s)"
+        by_event = ", ".join(f"{k}={v}" for k, v in sorted(check.by_event.items()))
+        lines.append(
+            f"trace {check.path}: {status} "
+            f"({check.events} events, {check.spans} spans closed"
+            + (f"; {by_event}" if by_event else "")
+            + ")"
+        )
+        lines.extend(f"  ERROR {message}" for message in check.errors)
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Nestable wall-time spans: ``with span("refine", k=7): ...``.
+
+A span measures the wall time of a code region, knows its parent (spans
+nest through a thread-local stack), feeds a ``span.<name>.seconds``
+histogram in the metrics registry, and emits paired
+``span_start``/``span_end`` trace events — so one construct yields
+latency histograms for ``repro stats`` *and* a causally nested trace for
+``--trace FILE``.
+
+While observability is disabled, ``span()`` yields a shared null span
+and does nothing else; pass ``force=True`` to always measure time (used
+by ``repro bench``, whose whole purpose is timing) without touching the
+registry or the trace unless observability is enabled.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.obs import metrics
+from repro.obs.events import dispatch
+
+_local = threading.local()
+_id_lock = threading.Lock()
+_next_id = 0
+
+
+def _stack() -> list:
+    try:
+        return _local.stack
+    except AttributeError:
+        _local.stack = []
+        return _local.stack
+
+
+def _new_span_id() -> str:
+    """Unique across threads and (fork-spawned) worker processes."""
+    global _next_id
+    with _id_lock:
+        _next_id += 1
+        serial = _next_id
+    return f"{os.getpid()}-{serial}"
+
+
+class Span:
+    """One timed region; ``seconds`` is valid after the ``with`` block."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "start", "seconds")
+
+    def __init__(self, name: str, attrs: dict, span_id: str, parent_id: str | None):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = 0.0
+        self.seconds = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes after entry (e.g. result counts)."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    __slots__ = ()
+    seconds = 0.0
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+@contextmanager
+def span(name: str, /, force: bool = False, **attrs):
+    """Time a region; record histogram + trace events when enabled.
+
+    Parameters
+    ----------
+    name:
+        Span name (positional-only, so ``name=...`` is a free attribute
+        key); the latency histogram is ``span.<name>.seconds``.
+    force:
+        Measure wall time even while observability is disabled (the
+        span is still invisible to registry and trace).
+    attrs:
+        Arbitrary JSON-able attributes stored on the ``span_end`` event.
+    """
+    recording = metrics.enabled()
+    if not (recording or force):
+        yield NULL_SPAN
+        return
+    stack = _stack()
+    parent_id = stack[-1].span_id if (recording and stack) else None
+    record = Span(name, dict(attrs), _new_span_id() if recording else "", parent_id)
+    if recording:
+        stack.append(record)
+        dispatch(
+            {
+                "event": "span_start",
+                "ts": time.time(),
+                "id": record.span_id,
+                "name": name,
+                "parent": parent_id,
+            }
+        )
+    record.start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record.seconds = time.perf_counter() - record.start
+        if recording:
+            stack.pop()
+            metrics.histogram(f"span.{name}.seconds").observe(record.seconds)
+            dispatch(
+                {
+                    "event": "span_end",
+                    "ts": time.time(),
+                    "id": record.span_id,
+                    "name": name,
+                    "parent": parent_id,
+                    "seconds": record.seconds,
+                    "attrs": record.attrs,
+                }
+            )

@@ -9,7 +9,11 @@ when a caller asks for more workers than it currently has, and shut down
 at interpreter exit.
 
 All helpers keep results in submission order, so parallel runs are
-deterministic and bit-identical to serial ones.
+deterministic and bit-identical to serial ones.  :func:`pool_map` is the
+observability-aware fan-out: while :mod:`repro.obs` is enabled, each
+worker call runs under a fresh metric capture whose snapshot travels
+back with the result and is merged into the parent registry — counter
+totals of a ``--jobs`` run therefore equal the serial run exactly.
 """
 
 from __future__ import annotations
@@ -49,6 +53,45 @@ def shared_pool(n_jobs: int) -> ProcessPoolExecutor:
         _pool = ProcessPoolExecutor(max_workers=n_jobs)
         _pool_size = n_jobs
     return _pool
+
+
+def _captured_task(payload):
+    """Pool work unit: run one task, optionally under metric capture.
+
+    Module-level so it pickles; returns ``(result, snapshot_or_None)``.
+    Exceptions propagate unchanged (their capture snapshot is discarded
+    — the batch is aborting anyway).
+    """
+    capture, task_fn, task = payload
+    if not capture:
+        return task_fn(task), None
+    from repro.obs import capture_deltas
+
+    with capture_deltas() as holder:
+        result = task_fn(task)
+    return result, holder.snapshot
+
+
+def pool_map(task_fn, tasks: list, n_jobs: int, chunksize: int = 1) -> list:
+    """Ordered map over the shared pool with worker-metrics merging.
+
+    Drop-in replacement for ``shared_pool(...).map(task_fn, tasks)``:
+    results come back in submission order; while observability is
+    enabled, each worker call's metric/event snapshot is folded into
+    this process's registry as results are consumed.
+    """
+    from repro.obs import enabled as obs_enabled
+    from repro.obs import merge_worker_snapshot
+
+    pool = shared_pool(min(n_jobs, len(tasks)))
+    capture = obs_enabled()
+    payloads = [(capture, task_fn, task) for task in tasks]
+    results = []
+    for result, snapshot in pool.map(_captured_task, payloads, chunksize=chunksize):
+        if snapshot is not None:
+            merge_worker_snapshot(snapshot)
+        results.append(result)
+    return results
 
 
 def _shutdown() -> None:

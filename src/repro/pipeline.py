@@ -30,6 +30,7 @@ from repro.geometry.mesh import TriangleMesh
 from repro.geometry.sdf import Solid
 from repro.normalize.pose import PoseInfo, normalize_grid
 from repro.normalize.symmetry import canonicalize_grid
+from repro.obs import emit, registry, span
 from repro.voxel.grid import VoxelGrid
 from repro.voxel.voxelize import voxelize_mesh, voxelize_solid
 
@@ -366,22 +367,23 @@ class Pipeline:
         ladder = self._retry_ladder(kind) if on_error == "retry" else [(None, {})]
         start = time.perf_counter()
         last_exc: BaseException | None = None
-        for attempt, (fallback, overrides) in enumerate(ladder, 1):
-            try:
-                obj = build(**overrides)
-            except Exception as exc:
-                if on_error == "raise":
-                    raise
-                last_exc = exc
-                continue
-            report.record_success(
-                obj,
-                attempts=attempt,
-                seconds=time.perf_counter() - start,
-                fallback=fallback,
-                source=source,
-            )
-            return
+        with span("ingest.object", object=name, kind=kind):
+            for attempt, (fallback, overrides) in enumerate(ladder, 1):
+                try:
+                    obj = build(**overrides)
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    last_exc = exc
+                    continue
+                report.record_success(
+                    obj,
+                    attempts=attempt,
+                    seconds=time.perf_counter() - start,
+                    fallback=fallback,
+                    source=source,
+                )
+                return
         assert last_exc is not None
         report.record_failure(
             name,
@@ -433,20 +435,23 @@ class Pipeline:
         from repro.parallel import resolve_n_jobs
 
         jobs = resolve_n_jobs(n_jobs)
-        if jobs > 1 and len(parts) > 1:
-            tasks = [(self, part, on_error) for part in parts]
-            return _merge_reports(
-                on_error, _pool_map(_ingest_part_task, tasks, jobs)
-            )
-        report = IngestReport(on_error)
-        for part in parts:
-            self._ingest_one(
-                part.name,
-                lambda **ov: self.process_part(part, **ov),
-                "solid",
-                on_error,
-                report,
-            )
+        with span("ingest.process_parts", n=len(parts), jobs=jobs, policy=on_error):
+            if jobs > 1 and len(parts) > 1:
+                tasks = [(self, part, on_error) for part in parts]
+                report = _merge_reports(
+                    on_error, _pool_map(_ingest_part_task, tasks, jobs)
+                )
+            else:
+                report = IngestReport(on_error)
+                for part in parts:
+                    self._ingest_one(
+                        part.name,
+                        lambda **ov: self.process_part(part, **ov),
+                        "solid",
+                        on_error,
+                        report,
+                    )
+        _record_ingest_report(report)
         return report
 
     def process_mesh_directory(
@@ -483,31 +488,36 @@ class Pipeline:
         except OSError as exc:
             raise StorageError(f"cannot list mesh directory {directory}: {exc}") from exc
         jobs = resolve_n_jobs(n_jobs)
-        if jobs > 1 and len(files) > 1:
-            tasks = [
-                (self, path, class_id, on_error, fill)
-                for class_id, path in enumerate(files)
-            ]
-            return _merge_reports(
-                on_error, _pool_map(_ingest_mesh_task, tasks, jobs)
-            )
-        report = IngestReport(on_error)
-        for class_id, path in enumerate(files):
-
-            def build(path=path, class_id=class_id, **overrides):
-                mesh = read_mesh(path)
-                grid, pose = self.process_mesh(mesh, fill=fill, **overrides)
-                return ProcessedObject(
-                    name=path.stem,
-                    family="mesh",
-                    class_id=class_id,
-                    grid=grid,
-                    pose=pose,
+        with span(
+            "ingest.process_meshes", n=len(files), jobs=jobs, policy=on_error
+        ):
+            if jobs > 1 and len(files) > 1:
+                tasks = [
+                    (self, path, class_id, on_error, fill)
+                    for class_id, path in enumerate(files)
+                ]
+                report = _merge_reports(
+                    on_error, _pool_map(_ingest_mesh_task, tasks, jobs)
                 )
+            else:
+                report = IngestReport(on_error)
+                for class_id, path in enumerate(files):
 
-            self._ingest_one(
-                path.stem, build, "mesh", on_error, report, source=str(path)
-            )
+                    def build(path=path, class_id=class_id, **overrides):
+                        mesh = read_mesh(path)
+                        grid, pose = self.process_mesh(mesh, fill=fill, **overrides)
+                        return ProcessedObject(
+                            name=path.stem,
+                            family="mesh",
+                            class_id=class_id,
+                            grid=grid,
+                            pose=pose,
+                        )
+
+                    self._ingest_one(
+                        path.stem, build, "mesh", on_error, report, source=str(path)
+                    )
+        _record_ingest_report(report)
         return report
 
 
@@ -555,10 +565,31 @@ def _ingest_mesh_task(task) -> IngestReport:
 
 
 def _pool_map(task_fn, tasks: list, jobs: int) -> list:
-    from repro.parallel import shared_pool
+    from repro.parallel import pool_map
 
-    pool = shared_pool(min(jobs, len(tasks)))
-    return list(pool.map(task_fn, tasks))
+    return pool_map(task_fn, tasks, jobs)
+
+
+def _record_ingest_report(report: IngestReport) -> None:
+    """Fold one batch-ingest outcome into the metrics registry.
+
+    Counted exactly once per top-level batch (never inside workers, so
+    parallel runs can't double count), which makes serial and ``--jobs``
+    totals identical for the same inputs.
+    """
+    reg = registry()
+    if not reg.enabled:
+        return
+    reg.counter("ingest.objects_ok").inc(len(report.objects))
+    reg.counter("ingest.objects_failed").inc(len(report.failures))
+    reg.counter("ingest.attempts").inc(sum(rec.attempts for rec in report.records))
+    emit(
+        "ingest",
+        ok=len(report.objects),
+        failed=len(report.failures),
+        policy=report.policy,
+        seconds=report.total_seconds,
+    )
 
 
 def _merge_reports(on_error: str, partials: list[IngestReport]) -> IngestReport:

@@ -136,6 +136,118 @@ class TestExperiment:
         assert "reachability" in capsys.readouterr().out
 
 
+class TestObservability:
+    def test_query_writes_metrics_and_trace(self, car_db, tmp_path, capsys):
+        import json
+
+        from repro.io.database import ObjectDatabase
+
+        name = ObjectDatabase.load(car_db).names()[0]
+        metrics = tmp_path / "q.json"
+        trace = tmp_path / "q.jsonl"
+        code = main(
+            ["query", str(car_db), "--name", name, "-k", "3",
+             "--metrics", str(metrics), "--trace", str(trace)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(metrics.read_text())
+        # The emitted telemetry agrees exactly with what the command
+        # printed: one query, selectivity/refinements from QueryStats.
+        assert snapshot["counters"]["query.count"] == 1
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        query_events = [e for e in events if e["event"] == "query"]
+        assert len(query_events) == 1
+        refined = query_events[0]["exact_computations"]
+        assert f"refined {refined}/" in out
+        assert snapshot["counters"]["query.exact_computations"] == refined
+        assert any(e["event"] == "span_start" for e in events)
+
+    def test_stats_validates_and_reports(self, car_db, tmp_path, capsys):
+        from repro.io.database import ObjectDatabase
+
+        name = ObjectDatabase.load(car_db).names()[0]
+        metrics = tmp_path / "q.json"
+        trace = tmp_path / "q.jsonl"
+        assert main(
+            ["query", str(car_db), "--name", name,
+             "--metrics", str(metrics), "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        code = main(["stats", "--metrics", str(metrics), "--trace", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query.count" in out
+        assert "OK" in out
+
+    def test_stats_json_merges_snapshots(self, tmp_path, capsys):
+        import json
+
+        for index in range(2):
+            (tmp_path / f"m{index}.json").write_text(
+                json.dumps({"counters": {"query.count": 3}})
+            )
+        code = main(
+            ["stats", "--json",
+             "--metrics", str(tmp_path / "m0.json"), str(tmp_path / "m1.json")]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["query.count"] == 6
+
+    def test_stats_fails_on_malformed_trace(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            json.dumps({"event": "span_start", "id": "1-1", "name": "lost"}) + "\n"
+        )
+        code = main(["stats", "--trace", str(bad)])
+        assert code == 1
+        assert "never closed" in capsys.readouterr().out
+
+    def test_stats_without_inputs_is_usage_error(self, capsys):
+        assert main(["stats"]) == 2
+        assert "nothing to report" in capsys.readouterr().err
+
+    def test_parallel_ingest_metrics_match_serial(self, tmp_path):
+        """Satellite guarantee at the CLI level: ``--jobs 2`` reports the
+        same ingest counter totals as a serial run."""
+        import json
+
+        args = ["ingest", "--dataset", "aircraft", "--n", "8", "--no-cache"]
+        serial_metrics = tmp_path / "serial.json"
+        parallel_metrics = tmp_path / "parallel.json"
+        assert main(args + ["--out", str(tmp_path / "s.npz"),
+                            "--metrics", str(serial_metrics)]) == 0
+        assert main(args + ["--out", str(tmp_path / "p.npz"), "--jobs", "2",
+                            "--metrics", str(parallel_metrics)]) == 0
+        serial = json.loads(serial_metrics.read_text())["counters"]
+        parallel = json.loads(parallel_metrics.read_text())["counters"]
+        ingest_keys = {k for k in serial if k.startswith(("ingest.", "extract."))}
+        assert ingest_keys
+        for key in sorted(ingest_keys):
+            assert serial[key] == parallel[key], key
+
+    def test_obs_state_reset_between_runs(self, car_db, tmp_path, capsys):
+        """A --metrics run must not leak an enabled registry into the
+        next plain invocation (embedded callers, test isolation)."""
+        import json
+
+        from repro import obs
+        from repro.io.database import ObjectDatabase
+
+        name = ObjectDatabase.load(car_db).names()[0]
+        metrics = tmp_path / "first.json"
+        assert main(["query", str(car_db), "--name", name,
+                     "--metrics", str(metrics)]) == 0
+        assert not obs.enabled()
+        assert main(["query", str(car_db), "--name", name]) == 0
+        # The second (plain) run recorded nothing anywhere.
+        assert obs.registry().snapshot()["counters"] == {}
+        assert json.loads(metrics.read_text())["counters"]["query.count"] == 1
+
+
 class TestBench:
     def test_quick_bench_writes_json(self, tmp_path, capsys):
         import json
@@ -158,6 +270,19 @@ class TestBench:
             assert record["per_pair_seconds"] > 0
             assert record["speedup"] > 0
             assert "label" not in record
+
+    def test_bench_trace_records_span_per_leg(self, tmp_path):
+        import json
+
+        trace = tmp_path / "bench.jsonl"
+        code = main(
+            ["bench", "--quick", "--out", str(tmp_path / "bench.json"),
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {e["name"] for e in events if e["event"] == "span_start"}
+        assert {"bench.pairwise_matrix.batched", "bench.match_many.per_pair"} <= names
 
     def test_label_is_stamped_into_records(self, tmp_path):
         import json

@@ -111,6 +111,90 @@ class TestFeatureCache:
         assert FeatureCache().root == tmp_path / "elsewhere" / "features"
 
 
+class TestStatsRace:
+    def test_concurrent_flushes_lose_no_increments(self, tmp_path):
+        """Racing flushers each write their own delta file, so no
+        read-modify-write window exists: totals are exact no matter the
+        interleaving (the bug class this scheme replaces)."""
+        import threading
+
+        root = tmp_path / "features"
+        n_threads, per_thread = 8, 5
+
+        def flusher() -> None:
+            for _ in range(per_thread):
+                cache = FeatureCache(root=root)
+                cache.hits = 1
+                cache.misses = 2
+                cache.flush_stats()
+
+        threads = [threading.Thread(target=flusher) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        info = cache_info(root)
+        assert info["hits"] == n_threads * per_thread
+        assert info["misses"] == 2 * n_threads * per_thread
+
+    def test_compaction_folds_deltas_and_stays_exact(self, tmp_path):
+        from repro.features.cache import STATS_DELTA_DIR
+
+        root = tmp_path / "features"
+        for _ in range(4):
+            cache = FeatureCache(root=root)
+            cache.hits = 3
+            cache.flush_stats()
+        deltas = root / STATS_DELTA_DIR
+        assert len(list(deltas.glob("*.json"))) == 4
+        # First read compacts the deltas into stats.json...
+        assert cache_info(root)["hits"] == 12
+        assert list(deltas.glob("*.json")) == []
+        # ...and repeated reads (plus new deltas) stay exact.
+        assert cache_info(root)["hits"] == 12
+        late = FeatureCache(root=root)
+        late.misses = 1
+        late.flush_stats()
+        info = cache_info(root)
+        assert info["hits"] == 12 and info["misses"] == 1
+
+    def test_reader_excludes_deltas_already_folded(self, tmp_path):
+        """A reader racing the compactor must not double-count a delta
+        that stats.json has folded but not yet deleted."""
+        import json
+
+        from repro.features.cache import STATS_DELTA_DIR, _read_stats
+
+        root = tmp_path / "features"
+        cache = FeatureCache(root=root)
+        cache.hits = 5
+        cache.flush_stats()
+        delta_name = next((root / STATS_DELTA_DIR).glob("*.json")).name
+        # Simulate the compactor's window: stats.json already counts the
+        # delta (and says so), the delta file still exists on disk.
+        (root / "stats.json").write_text(
+            json.dumps({"hits": 5, "misses": 0, "folded": [delta_name]})
+        )
+        totals = _read_stats(root)
+        assert totals == {"hits": 5, "misses": 0}
+
+    def test_stale_compaction_lock_is_broken(self, tmp_path):
+        import os
+
+        root = tmp_path / "features"
+        cache = FeatureCache(root=root)
+        cache.hits = 2
+        cache.flush_stats()
+        root.mkdir(parents=True, exist_ok=True)
+        lock = root / "stats.lock"
+        lock.touch()
+        ancient = 10_000
+        os.utime(lock, (ancient, ancient))
+        # A lock from a crashed process must not wedge reads forever.
+        assert cache_info(root)["hits"] == 2
+        assert not lock.exists()
+
+
 class TestExtractManyIntegration:
     def test_second_pass_is_all_hits(self, cache, model, lshape_grid, tire_grid):
         grids = [lshape_grid, tire_grid]
