@@ -131,7 +131,58 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("-k", type=int, default=10)
     query.add_argument("--covers", type=int, default=7)
     query.add_argument("--resolution", type=int, default=15)
+    query.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="treat DATABASE as a `repro db` snapshot: the saved index "
+        "structure is reloaded as-is and answers the query without any "
+        "rebuild work",
+    )
     _add_obs_args(query)
+
+    db = commands.add_parser(
+        "db", help="mutable similarity database (incremental index maintenance)"
+    )
+    db_commands = db.add_subparsers(dest="db_command", required=True)
+
+    db_init = db_commands.add_parser(
+        "init", help="create an empty database snapshot"
+    )
+    db_init.add_argument("database", type=Path)
+    db_init.add_argument("--covers", type=int, default=7)
+    db_init.add_argument("--resolution", type=int, default=15)
+    db_init.add_argument(
+        "--backend",
+        choices=["xtree", "rstar", "scan", "mtree"],
+        default="xtree",
+        help="access method maintained incrementally (default: xtree)",
+    )
+    _add_obs_args(db_init)
+
+    db_add = db_commands.add_parser(
+        "add", help="insert mesh files without rebuilding the index"
+    )
+    db_add.add_argument("database", type=Path)
+    db_add.add_argument("meshes", type=Path, nargs="+")
+    db_add.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed feature cache",
+    )
+    _add_obs_args(db_add)
+
+    db_remove = db_commands.add_parser(
+        "remove", help="delete objects by id (incremental index delete)"
+    )
+    db_remove.add_argument("database", type=Path)
+    db_remove.add_argument("ids", type=int, nargs="+")
+    _add_obs_args(db_remove)
+
+    db_compact = db_commands.add_parser(
+        "compact", help="rebuild the index in place (re-pack after churn)"
+    )
+    db_compact.add_argument("database", type=Path)
+    _add_obs_args(db_compact)
 
     cluster = commands.add_parser("cluster", help="OPTICS reachability plot")
     cluster.add_argument("database", type=Path)
@@ -317,7 +368,100 @@ def _open_engine(path: Path, covers: int):
     return database, sets, FilterRefineEngine(sets, capacity=covers)
 
 
+def _open_snapshot(path: Path):
+    """Load a ``repro db`` snapshot ready for queries and mutations."""
+    from repro.db import SimilarityDatabase
+    from repro.features.vector_set_model import VectorSetModel
+
+    db = SimilarityDatabase.load(path)
+    db.model = VectorSetModel(k=db.capacity)
+    return db
+
+
+def _voxelize_for(db, path: Path):
+    """Raw-voxelize a mesh with the snapshot's pipeline settings (the
+    grid is normalized later, inside ``add_grid``/``features_for_grid``)."""
+    from repro.pipeline import Pipeline
+    from repro.voxel.voxelize import voxelize_mesh
+
+    pipeline = db.pipeline or Pipeline()
+    if db.pipeline is None:
+        db.pipeline = pipeline
+    return voxelize_mesh(
+        _load_mesh(path),
+        pipeline.resolution,
+        margin=pipeline.margin,
+        keep_aspect=pipeline.keep_aspect,
+    )
+
+
+def cmd_db(args) -> int:
+    if args.db_command == "init":
+        from repro.db import SimilarityDatabase
+        from repro.features.vector_set_model import VectorSetModel
+        from repro.pipeline import Pipeline
+
+        db = SimilarityDatabase(
+            args.covers,
+            backend=args.backend,
+            pipeline=Pipeline(resolution=args.resolution),
+            model=VectorSetModel(k=args.covers),
+        )
+        db.save(args.database)
+        print(f"created empty {args.backend} database -> {args.database}")
+        return 0
+
+    db = _open_snapshot(args.database)
+    if args.db_command == "add":
+        from repro.features.cache import FeatureCache
+
+        db.cache = FeatureCache(enabled=not args.no_cache)
+        next_oid = max(db.object_ids(), default=-1) + 1
+        for path in args.meshes:
+            db.add_grid(next_oid, _voxelize_for(db, path))
+            print(f"added {path.name} as object {next_oid}")
+            next_oid += 1
+        db.save(args.database)
+        db.cache.flush_stats()
+        print(f"{len(db)} objects -> {args.database}")
+        return 0
+    if args.db_command == "remove":
+        missing = [oid for oid in args.ids if not db.remove(oid)]
+        for oid in missing:
+            print(f"no object with id {oid}", file=sys.stderr)
+        db.save(args.database)
+        print(f"{len(db)} objects -> {args.database}")
+        return 2 if missing else 0
+    # compact: rebuild in place; canonical tie-breaking guarantees the
+    # re-packed tree answers every query identically.
+    db.compact()
+    db.save(args.database)
+    print(f"compacted {len(db)} objects -> {args.database}")
+    return 0
+
+
+def _query_snapshot(args) -> int:
+    if args.name:
+        print(
+            "--name needs an object-store database; `repro db` snapshots "
+            "identify objects by id (query with --mesh)",
+            file=sys.stderr,
+        )
+        return 2
+    db = _open_snapshot(args.database)
+    grid = _voxelize_for(db, args.mesh)
+    query_set = db.pipeline.features_for_grid(grid, db.model, cache=db.cache)
+    results, stats = db.knn_query(query_set, args.k)
+    print(f"{'rank':>4}  {'object':>8} distance")
+    for rank, match in enumerate(results, 1):
+        print(f"{rank:>4}  {match.object_id:>8} {match.distance:.4f}")
+    print(f"\n{stats}")
+    return 0
+
+
 def cmd_query(args) -> int:
+    if args.snapshot:
+        return _query_snapshot(args)
     database, sets, engine = _open_engine(args.database, args.covers)
     if args.name:
         names = database.names()
@@ -662,6 +806,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "bench": cmd_bench,
         "stats": cmd_stats,
+        "db": cmd_db,
     }
     # `stats` consumes metrics/trace files; every other command may
     # produce them.  Either output flag switches the obs layer on for

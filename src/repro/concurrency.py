@@ -1,0 +1,65 @@
+"""Reader-writer locking for the mutable similarity database.
+
+A classic write-preferring RW lock: any number of readers share the
+lock, writers get exclusive access, and a *waiting* writer blocks new
+readers so a steady query stream cannot starve mutations.  Both sides
+are reentrant-free context managers — the database's query path takes
+:meth:`RWLock.read`, its mutation path :meth:`RWLock.write`, and a
+reader is guaranteed to observe one consistent database version for the
+whole duration of its critical section.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Write-preferring shared/exclusive lock.
+
+    Not reentrant: a thread must not acquire the lock (either side)
+    while already holding it — upgrading a read lock to a write lock
+    deadlocks by design, as it would for any correct RW lock without an
+    upgrade protocol.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        """Shared access: blocks while a writer is active *or waiting*."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._active_readers -= 1
+                if not self._active_readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        """Exclusive access: waits for active readers to drain, keeps
+        new readers out while waiting."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()

@@ -149,6 +149,13 @@ class FilterRefineEngine:
     backend:
         Batched assignment backend (``"lockstep"``, ``"scalar"``,
         ``"scipy"``), see :func:`repro.core.batch.hungarian_batch`.
+    oids:
+        External object ids, one per set (default: positions
+        ``0..n-1``).  Rankers yield these ids and results carry them, so
+        a mutable database with sparse ids after deletions can plug its
+        spatial index in as *centroid_ranker* without renumbering.  Ties
+        in k-nn results resolve canonically by ascending oid, matching
+        the index layer's convention.
     """
 
     def __init__(
@@ -159,6 +166,7 @@ class FilterRefineEngine:
         exact_distance: ExactDistance | None = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
         backend: str = "lockstep",
+        oids: Sequence[int] | None = None,
     ):
         if capacity < 1:
             raise QueryError("capacity must be >= 1")
@@ -179,6 +187,17 @@ class FilterRefineEngine:
                 raise QueryError(f"set {i} has incompatible shape {arr.shape}")
             if len(arr) > capacity:
                 raise QueryError(f"set {i} exceeds capacity {capacity}")
+        if oids is None:
+            self.oids = list(range(len(self._sets)))
+        else:
+            self.oids = [int(oid) for oid in oids]
+            if len(self.oids) != len(self._sets):
+                raise QueryError(
+                    f"{len(self.oids)} oids for {len(self._sets)} sets"
+                )
+            if len(set(self.oids)) != len(self.oids):
+                raise QueryError("object ids must be unique")
+        self._position = {oid: pos for pos, oid in enumerate(self.oids)}
         self.omega = (
             np.zeros(self.dimension) if omega is None else np.asarray(omega, dtype=float)
         )
@@ -210,7 +229,13 @@ class FilterRefineEngine:
         """Default centroid ranker: full scan, sorted ascending."""
         dists = np.linalg.norm(self.centroids - query_centroid, axis=1)
         for idx in np.argsort(dists, kind="stable"):
-            yield int(idx), float(dists[idx])
+            yield self.oids[int(idx)], float(dists[idx])
+
+    def _require_position(self, oid: int) -> int:
+        try:
+            return self._position[oid]
+        except KeyError:
+            raise QueryError(f"ranker yielded unknown object id {oid}") from None
 
     def _query_centroid(self, query: np.ndarray | VectorSet) -> np.ndarray:
         arr = np.asarray(
@@ -289,23 +314,23 @@ class FilterRefineEngine:
             center = self._query_centroid(query)
             ranking = (centroid_ranker or self._scan_ranking)(center)
             cutoff = epsilon / self.capacity
-            candidate_ids: list[int] = []
+            candidates: list[int] = []  # internal positions
             for object_id, centroid_dist in ranking:
                 stats.candidates_ranked += 1
                 if centroid_dist > cutoff:
                     break  # ranking is ascending: everything after is pruned too
-                candidate_ids.append(object_id)
+                candidates.append(self._require_position(object_id))
             prepared = self._prepare_query(query_arr)
             results: list[QueryMatch] = []
-            for start in range(0, len(candidate_ids), DEFAULT_CHUNK_SIZE):
-                chunk = candidate_ids[start : start + DEFAULT_CHUNK_SIZE]
+            for start in range(0, len(candidates), DEFAULT_CHUNK_SIZE):
+                chunk = candidates[start : start + DEFAULT_CHUNK_SIZE]
                 stats.exact_computations += len(chunk)
                 registry().histogram("query.block_candidates").observe(len(chunk))
                 with span("query.refine", candidates=len(chunk)):
                     exacts = self._refine_many(prepared, query_arr, chunk)
-                for object_id, exact in zip(chunk, exacts):
+                for pos, exact in zip(chunk, exacts):
                     if exact <= epsilon:
-                        results.append(QueryMatch(object_id, float(exact)))
+                        results.append(QueryMatch(self.oids[pos], float(exact)))
             stats.pruned = len(self._sets) - stats.exact_computations
             results.sort(key=lambda match: (match.distance, match.object_id))
             sp.set(results=len(results))
@@ -328,6 +353,14 @@ class FilterRefineEngine:
         strictly sequential algorithm — and the walk over each refined
         block replays the sequential stop decision to count
         :attr:`QueryStats.extra_refinements` exactly.
+
+        The search stops only when the next lower bound *strictly*
+        exceeds the current k-th exact distance: candidates whose bound
+        ties the radius are still refined, so ties at the k-th distance
+        resolve canonically by ascending object id (a candidate with a
+        strictly greater bound can never tie, since its exact distance
+        is at least the bound).  Results are therefore independent of
+        the candidate order the ranker produces.
         """
         if n_neighbors < 1:
             raise QueryError("n_neighbors must be >= 1")
@@ -337,9 +370,10 @@ class FilterRefineEngine:
             center = self._query_centroid(query)
             ranking = (centroid_ranker or self._scan_ranking)(center)
             prepared = self._prepare_query(query_arr)
-            # Max-heap (negated distances) of the best n candidates so far.
+            # Max-heap over (distance, oid) via negation: heap[0] is the
+            # current k-th candidate, the first to be displaced.
             heap: list[tuple[float, int]] = []
-            pending: list[tuple[int, float]] = []
+            pending: list[tuple[int, float]] = []  # (position, lower bound)
             stop = False
 
             def flush() -> None:
@@ -347,27 +381,28 @@ class FilterRefineEngine:
                 nonlocal stop
                 if not pending:
                     return
-                ids = [object_id for object_id, _ in pending]
+                ids = [pos for pos, _ in pending]
                 stats.exact_computations += len(ids)
                 registry().histogram("query.block_candidates").observe(len(ids))
                 with span("query.refine", candidates=len(ids)):
                     exacts = self._refine_many(prepared, query_arr, ids)
-                for (object_id, lower_bound), exact in zip(pending, exacts):
+                for (pos, lower_bound), exact in zip(pending, exacts):
                     # The sequential algorithm would have stopped here; this
                     # and every later refinement of the block is overshoot.
-                    # (Provably harmless: exact >= lower_bound >= radius, so
+                    # (Provably harmless: exact >= lower_bound > radius, so
                     # none of them can displace a heap entry.)
                     if stop or (
-                        len(heap) == n_neighbors and lower_bound >= -heap[0][0]
+                        len(heap) == n_neighbors and lower_bound > -heap[0][0]
                     ):
                         stop = True
                         stats.extra_refinements += 1
                         continue
                     exact = float(exact)
+                    oid = self.oids[pos]
                     if len(heap) < n_neighbors:
-                        heapq.heappush(heap, (-exact, object_id))
-                    elif exact < -heap[0][0]:
-                        heapq.heapreplace(heap, (-exact, object_id))
+                        heapq.heappush(heap, (-exact, -oid))
+                    elif (exact, oid) < (-heap[0][0], -heap[0][1]):
+                        heapq.heapreplace(heap, (-exact, -oid))
                 pending.clear()
 
             for object_id, centroid_dist in ranking:
@@ -376,16 +411,16 @@ class FilterRefineEngine:
                 # Radius is stale while a block is pending (it can only have
                 # shrunk since), so firing here means the sequential
                 # algorithm stopped at or before this candidate.
-                if len(heap) == n_neighbors and lower_bound >= -heap[0][0]:
+                if len(heap) == n_neighbors and lower_bound > -heap[0][0]:
                     break
-                pending.append((object_id, lower_bound))
+                pending.append((self._require_position(object_id), lower_bound))
                 if len(pending) >= self.block_size:
                     flush()
                     if stop:
                         break
             flush()
             stats.pruned = len(self._sets) - stats.exact_computations
-            results = [QueryMatch(obj, -neg) for neg, obj in heap]
+            results = [QueryMatch(-neg_oid, -neg_dist) for neg_dist, neg_oid in heap]
             results.sort(key=lambda match: (match.distance, match.object_id))
             sp.set(results=len(results))
         self._record_query("knn", stats, k=n_neighbors)
@@ -417,8 +452,9 @@ class FilterRefineEngine:
                     for start in range(0, n, DEFAULT_CHUNK_SIZE)
                 ]
             )
-            order = np.lexsort((np.arange(n), exacts))[:n_neighbors]
-            results = [QueryMatch(int(idx), float(exacts[idx])) for idx in order]
+            ext = np.asarray(self.oids)
+            order = np.lexsort((ext, exacts))[:n_neighbors]
+            results = [QueryMatch(int(ext[idx]), float(exacts[idx])) for idx in order]
         self._record_query("scan", stats, k=n_neighbors)
         return results, stats
 
@@ -483,7 +519,7 @@ class FilterRefineEngine:
                         lower_bound = self.capacity * float(state.dists[object_id])
                         if (
                             len(state.heap) == n_neighbors
-                            and lower_bound >= -state.heap[0][0]
+                            and lower_bound > -state.heap[0][0]
                         ):
                             state.done = True
                             break
@@ -515,23 +551,26 @@ class FilterRefineEngine:
                     ):
                         if state.stop or (
                             len(state.heap) == n_neighbors
-                            and lower_bound >= -state.heap[0][0]
+                            and lower_bound > -state.heap[0][0]
                         ):
                             state.stop = True
                             state.done = True
                             state.stats.extra_refinements += 1
                             continue
                         exact = float(exact)
+                        oid = self.oids[object_id]
                         if len(state.heap) < n_neighbors:
-                            heapq.heappush(state.heap, (-exact, object_id))
-                        elif exact < -state.heap[0][0]:
-                            heapq.heapreplace(state.heap, (-exact, object_id))
+                            heapq.heappush(state.heap, (-exact, -oid))
+                        elif (exact, oid) < (-state.heap[0][0], -state.heap[0][1]):
+                            heapq.heapreplace(state.heap, (-exact, -oid))
                     offset += len(block)
 
         output: list[tuple[list[QueryMatch], QueryStats]] = []
         for state in states:
             state.stats.pruned = n_objects - state.stats.exact_computations
-            results = [QueryMatch(obj, -neg) for neg, obj in state.heap]
+            results = [
+                QueryMatch(-neg_oid, -neg_dist) for neg_dist, neg_oid in state.heap
+            ]
             results.sort(key=lambda match: (match.distance, match.object_id))
             output.append((results, state.stats))
             self._record_query("knn", state.stats, k=n_neighbors)

@@ -117,6 +117,20 @@ class FeatureCache:
         counter("cache.misses").inc()
         return None
 
+    def get_or_extract(self, grid: VoxelGrid, model) -> np.ndarray:
+        """The feature array for *grid*, extracting (and caching) on miss.
+
+        The single-object flavour of ``extract_many(cache=...)`` — the
+        mutable database's ``add`` path goes through here so interactive
+        ingestion shares the same content-addressed entries as batch
+        runs.
+        """
+        feature = self.get(grid, model)
+        if feature is None:
+            feature = np.asarray(model.extract(grid))
+            self.put(grid, model, feature)
+        return feature
+
     def put(self, grid: VoxelGrid, model, feature: np.ndarray) -> None:
         """Store *feature* atomically (unique temp file + replace)."""
         if not self.enabled:

@@ -19,6 +19,7 @@ from repro.index.mtree import MTree
 from repro.index.pages import IOCost, PageManager
 from repro.index.rstar import RStarTree
 from repro.index.scan import SequentialScan
+from repro.index.snapshot import load_index, save_index, structure_digest
 from repro.index.xtree import XTree
 
 __all__ = [
@@ -29,4 +30,7 @@ __all__ = [
     "MTree",
     "SequentialScan",
     "bulk_load",
+    "save_index",
+    "load_index",
+    "structure_digest",
 ]

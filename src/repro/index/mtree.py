@@ -22,6 +22,17 @@ from repro.index.pages import PageManager
 
 Metric = Callable[[object, object], float]
 
+#: Relative slack applied to every *internal* pruning predicate (parent
+#: -distance pre-tests and covering-ball descent).  The triangle
+#: inequality holds for the exact metric, but each stored distance is a
+#: rounded float, so a mathematically-valid prune can overshoot by a few
+#: ulps and drop a result whose distance ties the query boundary
+#: exactly.  Loosening the predicates by one part in 10^9 means rounding
+#: can only make the search visit *more* entries — results themselves
+#: are always filtered on the exact metric value, so correctness and
+#: bit-identical agreement with the sequential baseline are preserved.
+PRUNE_SLACK = 1e-9
+
 
 class _MEntry:
     """One entry: a routing object (internal) or a data object (leaf)."""
@@ -169,6 +180,68 @@ class MTree:
             new_root.entries = [entry_a, entry_b]
             self.root = new_root
 
+    # -- deletion --------------------------------------------------------
+
+    def delete(self, obj, oid: int) -> bool:
+        """Remove the object stored under *oid*; returns False if absent.
+
+        The descent is pruned with the covering radii (the object must
+        lie inside every ancestor ball).  Emptied nodes are dissolved
+        bottom-up by dropping their routing entries, and a single-child
+        internal root collapses onto its child.  Covering radii are never
+        re-tightened — like the original M-tree (which has no delete at
+        all) we only guarantee they stay valid *upper* bounds, which is
+        all the pruning predicates need.
+        """
+        path = self._locate(self.root, obj, oid, None)
+        if path is None:
+            return False
+        leaf, target = path[-1]
+        leaf.entries.remove(target)
+        self.size -= 1
+        # Dissolve now-empty nodes bottom-up; path[i][1] is the routing
+        # entry inside path[i][0] that leads to path[i+1][0].
+        for depth in range(len(path) - 1, 0, -1):
+            child = path[depth][0]
+            if child.entries:
+                break
+            parent, routing = path[depth - 1]
+            parent.entries.remove(routing)
+        # Collapse a degenerate root.
+        while not self.root.is_leaf:
+            if len(self.root.entries) == 1:
+                self.root = self.root.entries[0].subtree
+            elif not self.root.entries:
+                self.root = self._new_node(is_leaf=True)
+            else:
+                break
+        return True
+
+    def _locate(
+        self, node: _MNode, obj, oid: int, parent_dist: float | None
+    ) -> list[tuple[_MNode, _MEntry | None]] | None:
+        """Path of ``(node, entry)`` pairs from *node* down to the leaf
+        entry holding *oid*, or None.  The leaf pair carries the data
+        entry itself; internal pairs carry the routing entry descended
+        through."""
+        self.pages.read(node.page_id)
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.oid == oid:
+                    return [(node, entry)]
+            return None
+        for entry in node.entries:
+            if parent_dist is not None and abs(
+                parent_dist - entry.dist_to_parent
+            ) > entry.radius * (1.0 + PRUNE_SLACK):
+                continue
+            dist = self._distance(obj, entry.obj)
+            if dist <= entry.radius * (1.0 + PRUNE_SLACK):
+                found = self._locate(entry.subtree, obj, oid, dist)
+                if found is not None:
+                    return [(node, entry)] + found
+        return None
+
     # -- queries -----------------------------------------------------------
 
     def range_search(self, query, radius: float) -> list[tuple[int, float]]:
@@ -182,58 +255,69 @@ class MTree:
             node, parent_dist = stack.pop()
             self.pages.read(node.page_id)
             for entry in node.entries:
-                # Cheap pre-test via the precomputed parent distance.
+                # Cheap pre-test via the precomputed parent distance.  The
+                # prune threshold is inflated by PRUNE_SLACK so float
+                # rounding can only cause extra work, never a missed hit.
                 if parent_dist is not None and abs(
                     parent_dist - entry.dist_to_parent
-                ) > radius + entry.radius:
+                ) > (radius + entry.radius) * (1.0 + PRUNE_SLACK):
                     continue
                 dist = self._distance(query, entry.obj)
                 if node.is_leaf:
                     if dist <= radius:
                         results.append((entry.oid, dist))
-                elif dist <= radius + entry.radius:
+                elif dist <= (radius + entry.radius) * (1.0 + PRUNE_SLACK):
                     stack.append((entry.subtree, dist))
         results.sort(key=lambda pair: (pair[1], pair[0]))
         return results
 
     def knn(self, query, k: int) -> list[tuple[int, float]]:
-        """The k nearest ``(oid, distance)`` pairs."""
+        """The k nearest ``(oid, distance)`` pairs.
+
+        Ties at the k-th distance resolve canonically by ascending oid,
+        matching the sequential-scan baseline, so differential tests can
+        assert literal result equality across access methods.
+        """
         if k < 1:
             raise IndexError_("k must be >= 1")
         counter = itertools.count()
-        # Priority queue of subtrees by optimistic distance.
+        # Priority queue of subtrees by (slack-guarded) optimistic distance.
         queue: list[tuple[float, int, _MNode, float | None]] = [
             (0.0, next(counter), self.root, None)
         ]
-        best: list[tuple[float, int]] = []  # max-heap via negation
+        # Max-heap over (distance, oid) via negation: best[0] is the
+        # current k-th candidate, the first to be displaced.
+        best: list[tuple[float, int]] = []
 
-        def current_radius() -> float:
-            return -best[0][0] if len(best) == k else np.inf
+        def kth_key() -> tuple[float, int]:
+            if len(best) < k:
+                return (np.inf, 2**63)
+            return (-best[0][0], -best[0][1])
 
         while queue:
             bound, _, node, parent_dist = heapq.heappop(queue)
-            if bound > current_radius():
+            if bound > kth_key()[0]:
                 break
             self.pages.read(node.page_id)
             for entry in node.entries:
                 if parent_dist is not None and abs(
                     parent_dist - entry.dist_to_parent
-                ) > current_radius() + entry.radius:
+                ) > (kth_key()[0] + entry.radius) * (1.0 + PRUNE_SLACK):
                     continue
                 dist = self._distance(query, entry.obj)
                 if node.is_leaf:
-                    if dist < current_radius():
+                    if (dist, entry.oid) < kth_key():
                         if len(best) == k:
-                            heapq.heapreplace(best, (-dist, entry.oid))
+                            heapq.heapreplace(best, (-dist, -entry.oid))
                         else:
-                            heapq.heappush(best, (-dist, entry.oid))
+                            heapq.heappush(best, (-dist, -entry.oid))
                 else:
-                    optimistic = max(0.0, dist - entry.radius)
-                    if optimistic <= current_radius():
+                    optimistic = max(0.0, dist - entry.radius) * (1.0 - PRUNE_SLACK)
+                    if optimistic <= kth_key()[0]:
                         heapq.heappush(
                             queue, (optimistic, next(counter), entry.subtree, dist)
                         )
-        result = [(oid, -neg) for neg, oid in best]
+        result = [(-neg_oid, -neg_dist) for neg_dist, neg_oid in best]
         result.sort(key=lambda pair: (pair[1], pair[0]))
         return result
 
@@ -248,22 +332,78 @@ class MTree:
                 stack.extend(entry.subtree for entry in node.entries)
         return count
 
-    def validate(self) -> None:
-        """Check covering-radius containment for every routing entry."""
-        stack: list[tuple[_MNode, object, float] | tuple[_MNode, None, None]] = [
-            (self.root, None, None)
-        ]
+    def check_invariants(self) -> None:
+        """Verify the full set of M-tree structural invariants.
+
+        * fanout: every node holds at most ``capacity`` entries and — the
+          root aside — at least one (deletion dissolves empty nodes);
+        * covering radii: every leaf object lies inside the ball of
+          *every* ancestor routing entry (up to a relative float
+          tolerance, since post-split radii accumulate rounded
+          triangle-inequality sums).  Note the balls themselves need not
+          nest — a split only re-extends the immediate grandparent — so
+          object containment is the invariant, exactly what the pruning
+          predicates rely on;
+        * ``dist_to_parent`` caches equal the recomputed metric value;
+        * all leaves sit at the same depth;
+        * the leaf entry count matches ``self.size``.
+
+        Raises :class:`IndexError_` on the first violation.  Distance
+        evaluations here call the metric directly so the accounting in
+        ``distance_computations`` — a measured quantity in the paper's
+        experiments — is not polluted by debugging sweeps.
+        """
+
+        def tol(radius: float) -> float:
+            return 1e-9 * (1.0 + radius)
+
         seen = 0
+        leaf_depths: set[int] = set()
+        # Stack of (node, depth, ancestors) with ancestors a tuple of
+        # (routing_obj, radius) from the root down.
+        stack: list[tuple[_MNode, int, tuple]] = [(self.root, 0, ())]
         while stack:
-            node, routing_obj, routing_radius = stack.pop()
+            node, depth, ancestors = stack.pop()
+            if len(node.entries) > self.capacity:
+                raise IndexError_(
+                    f"node with {len(node.entries)} entries exceeds "
+                    f"capacity {self.capacity}"
+                )
+            if not node.entries and node is not self.root:
+                raise IndexError_("empty non-root node survived deletion")
+            if node.is_leaf:
+                leaf_depths.add(depth)
+            parent = ancestors[-1] if ancestors else None
             for entry in node.entries:
+                if parent is not None:
+                    dist = float(self.metric(entry.obj, parent[0]))
+                    if abs(dist - entry.dist_to_parent) > tol(dist):
+                        raise IndexError_(
+                            f"stale dist_to_parent: cached "
+                            f"{entry.dist_to_parent}, metric gives {dist}"
+                        )
                 if node.is_leaf:
                     seen += 1
-                    if routing_obj is not None:
-                        dist = self.metric(entry.obj, routing_obj)
-                        if dist > routing_radius + 1e-9:
-                            raise IndexError_("leaf object escapes covering radius")
+                    for anc_obj, anc_radius in ancestors:
+                        dist = float(self.metric(entry.obj, anc_obj))
+                        if dist > anc_radius + tol(anc_radius):
+                            raise IndexError_(
+                                "leaf object escapes an ancestor's "
+                                f"covering radius ({dist} > {anc_radius})"
+                            )
                 else:
-                    stack.append((entry.subtree, entry.obj, entry.radius))
+                    stack.append(
+                        (
+                            entry.subtree,
+                            depth + 1,
+                            ancestors + ((entry.obj, entry.radius),),
+                        )
+                    )
+        if len(leaf_depths) > 1:
+            raise IndexError_(f"leaves at unequal depths {sorted(leaf_depths)}")
         if seen != self.size:
             raise IndexError_(f"tree holds {seen} objects, expected {self.size}")
+
+    def validate(self) -> None:
+        """Backwards-compatible alias for :meth:`check_invariants`."""
+        self.check_invariants()

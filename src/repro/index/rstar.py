@@ -307,7 +307,9 @@ class RStarTree:
         assert best_result is not None
         return best_result
 
-    def _split(self, node: _Node, overflown: set[int]) -> None:
+    def _split(self, node: _Node, overflown: set[int]) -> _Node:
+        """Split *node*; returns the newly created sibling (the X-tree
+        uses it to right-size supernode capacities after the split)."""
         lowers, uppers = node.lowers, node.uppers
         payloads = node.payloads()
         left_idx, right_idx = self._choose_split(lowers, uppers)
@@ -332,6 +334,7 @@ class RStarTree:
                 lo, hi = child.mbr()
                 new_root.add(lo, hi, child)
             self.root = new_root
+        return sibling
 
     # -- deletion ------------------------------------------------------------
 
@@ -353,6 +356,7 @@ class RStarTree:
             leaf.lowers[keep], leaf.uppers[keep], [leaf.oids[i] for i in range(leaf.size) if i != slot]
         )
         self.size -= 1
+        self._entry_removed(leaf)
         self._condense(leaf)
         # Shrink the root while it is a directory node with one child.
         while not self.root.is_leaf and self.root.size == 1:
@@ -395,6 +399,7 @@ class RStarTree:
                     parent.uppers[keep],
                     [parent.children[i] for i in range(parent.size) if i != slot],
                 )
+                self._entry_removed(parent)
             else:
                 self._refresh_upward(node)
             node = parent
@@ -402,6 +407,10 @@ class RStarTree:
         # level of the node that held them.
         for lower, upper, payload, level in orphans:
             self._insert_entry(lower, upper, payload, level, overflown=set())
+
+    def _entry_removed(self, node: _Node) -> None:
+        """Hook invoked whenever *node* loses an entry on the delete path
+        (the X-tree overrides it to shrink supernodes back)."""
 
     # -- queries -------------------------------------------------------------
 
@@ -427,21 +436,33 @@ class RStarTree:
         return hits
 
     def incremental_nearest(self, point: np.ndarray) -> Iterator[tuple[int, float]]:
-        """Yield ``(oid, distance)`` in ascending distance (best-first).
+        """Yield ``(oid, distance)`` in ascending ``(distance, oid)`` order.
 
         Nodes are fetched (and costed) lazily as the ranking progresses,
         which is what makes the optimal multi-step k-nn of
         :mod:`repro.core.queries` touch as few pages as possible.
+
+        Ties are broken canonically: at equal distance every node whose
+        minimum distance matches is expanded before any object is
+        yielded, and tied objects come out in ascending object id.  All
+        access methods (R*-tree, X-tree, M-tree, sequential scan) share
+        this convention, so their result sets are bit-identical even in
+        the presence of duplicate points — the property the stateful
+        differential tests assert.
         """
         point = np.asarray(point, dtype=float)
-        counter = itertools.count()  # tie-breaker, keeps heap comparisons sane
-        heap: list[tuple[float, int, bool, object]] = [
-            (0.0, next(counter), False, self.root)
+        counter = itertools.count()  # unique-ifies entries with equal keys
+        # Heap key: (distance, is_object, oid-or-0, counter).  Nodes sort
+        # before objects at the same distance, so a tied object cannot be
+        # yielded while an unexpanded node might still contain a smaller
+        # oid at that distance.
+        heap: list[tuple[float, int, int, int, object]] = [
+            (0.0, 0, 0, next(counter), self.root)
         ]
         while heap:
-            dist, _, is_object, payload = heapq.heappop(heap)
+            dist, is_object, oid, _, payload = heapq.heappop(heap)
             if is_object:
-                yield payload, dist
+                yield oid, dist
                 continue
             node: _Node = payload
             self.pages.read(node.page_id)
@@ -450,11 +471,15 @@ class RStarTree:
             dists = _mindist_many(point, node.lowers, node.uppers)
             if node.is_leaf:
                 for i in range(node.size):
-                    heapq.heappush(heap, (float(dists[i]), next(counter), True, node.oids[i]))
+                    heapq.heappush(
+                        heap,
+                        (float(dists[i]), 1, node.oids[i], next(counter), None),
+                    )
             else:
                 for i in range(node.size):
                     heapq.heappush(
-                        heap, (float(dists[i]), next(counter), False, node.children[i])
+                        heap,
+                        (float(dists[i]), 0, 0, next(counter), node.children[i]),
                     )
 
     def knn(self, point: np.ndarray, k: int) -> list[tuple[int, float]]:
@@ -478,18 +503,49 @@ class RStarTree:
     def height(self) -> int:
         return self.root.level + 1
 
-    def validate(self) -> None:
-        """Check structural invariants (MBR containment, levels, parents)."""
+    def _check_node_capacity(self, node: _Node) -> None:
+        """Per-node capacity rule; the X-tree loosens it for supernodes."""
+        if node.capacity != self.capacity:
+            raise IndexError_(
+                f"node capacity {node.capacity} differs from tree capacity "
+                f"{self.capacity}"
+            )
+
+    def check_invariants(self) -> None:
+        """Raise :class:`IndexError_` on any violated structural invariant.
+
+        Checked after every mutation by the stateful differential tests:
+
+        * MBR containment — every entry box lies inside the box its
+          parent stores for the node (exactly, no tolerance: MBRs are
+          min/max aggregates of the very same floats),
+        * level coherence and parent back-pointers,
+        * fanout bounds — ``min_fill <= size <= capacity`` for every
+          non-root node (the root may hold fewer, but a directory root
+          must keep >= 2 children or it would have been collapsed),
+        * per-node capacity rules (supernode rules in the X-tree),
+        * the leaf entry count equals :attr:`size`.
+        """
         stack = [(self.root, None, None)]
         seen = 0
         while stack:
             node, lo_bound, hi_bound = stack.pop()
-            if node.size == 0 and node is not self.root:
-                raise IndexError_("empty non-root node")
+            self._check_node_capacity(node)
+            if node.size > node.capacity:
+                raise IndexError_(
+                    f"node holds {node.size} entries, capacity {node.capacity}"
+                )
+            if node is not self.root:
+                if node.size < self.min_fill:
+                    raise IndexError_(
+                        f"underfull non-root node ({node.size} < {self.min_fill})"
+                    )
+            elif not node.is_leaf and node.size < 2:
+                raise IndexError_("directory root with fewer than 2 children")
             if node.size:
                 lo, hi = node.mbr()
                 if lo_bound is not None and (
-                    np.any(lo < lo_bound - 1e-9) or np.any(hi > hi_bound + 1e-9)
+                    np.any(lo < lo_bound) or np.any(hi > hi_bound)
                 ):
                     raise IndexError_("child MBR escapes parent MBR")
             if node.is_leaf:
@@ -503,3 +559,7 @@ class RStarTree:
                     stack.append((child, node.lowers[i], node.uppers[i]))
         if seen != self.size:
             raise IndexError_(f"tree holds {seen} entries, expected {self.size}")
+
+    def validate(self) -> None:
+        """Backwards-compatible alias of :meth:`check_invariants`."""
+        self.check_invariants()

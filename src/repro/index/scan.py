@@ -44,6 +44,22 @@ class SequentialScan:
         self._points.append(point.copy())
         self._oids.append(oid)
 
+    def delete(self, point: np.ndarray, oid: int) -> bool:
+        """Remove the entry stored under *oid*; returns False if absent.
+
+        The *point* argument is accepted for interface parity with the
+        trees (which need it to locate the hosting leaf) but is not used
+        to identify the entry.
+        """
+        del point
+        try:
+            where = self._oids.index(oid)
+        except ValueError:
+            return False
+        self._points.pop(where)
+        self._oids.pop(where)
+        return True
+
     def _charge_full_read(self) -> None:
         self.pages.read_bytes(self.size * self.dimension * 8)
 
@@ -65,8 +81,11 @@ class SequentialScan:
         point = np.asarray(point, dtype=float)
         matrix = np.vstack(self._points)
         dists = np.linalg.norm(matrix - point, axis=1)
-        for i in np.argsort(dists, kind="stable"):
-            yield self._oids[i], float(dists[i])
+        # Canonical (distance, oid) order — ties resolve by ascending oid
+        # so every access method reports the same result sequence.
+        oids = np.asarray(self._oids)
+        for i in np.lexsort((oids, dists)):
+            yield int(oids[i]), float(dists[i])
 
     def knn(self, point: np.ndarray, k: int) -> list[tuple[int, float]]:
         if k < 1:

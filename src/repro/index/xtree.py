@@ -50,6 +50,7 @@ class XTree(RStarTree):
         self.max_overlap = max_overlap
         self.max_supernode_factor = max_supernode_factor
         self.supernodes_created = 0
+        self.supernodes_dissolved = 0
 
     def _split_overlap_fraction(self, node: _Node) -> float:
         """Overlap fraction of the best available split of *node*."""
@@ -83,3 +84,76 @@ class XTree(RStarTree):
                 self._extend_supernode(node)
                 return
         self._split(node, overflown)
+
+    def _fit_capacity(self, node: _Node) -> None:
+        """Right-size a (possibly super) node's capacity to its contents.
+
+        The capacity is the smallest multiple of the base capacity that
+        holds the node's entries, so ``size > capacity - base`` holds for
+        every supernode — the tightness rule :meth:`check_invariants`
+        asserts.  The node's logical page span shrinks (or grows)
+        accordingly.
+        """
+        if node.is_leaf:
+            return
+        base = self.capacity
+        fitted = max(base, base * -(-node.size // base))
+        if fitted == node.capacity:
+            return
+        if fitted == base and node.capacity > base:
+            self.supernodes_dissolved += 1
+        elif fitted > base and node.capacity == base:
+            self.supernodes_created += 1
+        node.capacity = fitted
+        pages_spanned = -(-fitted // base)
+        self.pages.resize(node.page_id, pages_spanned * self.pages.page_size)
+
+    def _split(self, node: _Node, overflown: set[int]) -> _Node:
+        """R* split, then right-size both halves.
+
+        A splitting supernode hands each half up to ``size - min_fill``
+        entries — possibly still more than the base capacity — so the
+        surviving node's extended capacity and the fresh sibling's base
+        capacity must both be re-fitted to their actual contents (the
+        sibling could otherwise be born overfull, and the survivor would
+        keep paying a supernode's page span for a half-empty node).
+        """
+        sibling = super()._split(node, overflown)
+        if not node.is_leaf:
+            self._fit_capacity(node)
+            self._fit_capacity(sibling)
+        return sibling
+
+    def _entry_removed(self, node: _Node) -> None:
+        """Shrink supernodes whose contents fit a smaller page span again."""
+        if not node.is_leaf and node.capacity > self.capacity:
+            self._fit_capacity(node)
+
+    def _check_node_capacity(self, node: _Node) -> None:
+        """Supernode size rules (checked by :meth:`check_invariants`).
+
+        Leaves always keep the base capacity.  A directory node's
+        capacity is a multiple of the base capacity, bounded by
+        ``max_supernode_factor``, and *tight*: a supernode spanning ``m``
+        pages must hold more entries than ``m - 1`` pages could, or the
+        shrink path should have reclaimed the span.
+        """
+        base = self.capacity
+        if node.is_leaf:
+            if node.capacity != base:
+                raise IndexError_(f"leaf with non-base capacity {node.capacity}")
+            return
+        if node.capacity % base != 0 or node.capacity < base:
+            raise IndexError_(
+                f"directory capacity {node.capacity} is not a multiple of {base}"
+            )
+        if node.capacity > base * self.max_supernode_factor:
+            raise IndexError_(
+                f"supernode capacity {node.capacity} exceeds the "
+                f"{self.max_supernode_factor}x safety cap"
+            )
+        if node.capacity > base and node.size <= node.capacity - base:
+            raise IndexError_(
+                f"loose supernode: {node.size} entries span "
+                f"{node.capacity // base} pages"
+            )

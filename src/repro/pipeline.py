@@ -309,6 +309,22 @@ class Pipeline:
         )
         return self.process_grid(grid)
 
+    def features_for_grid(self, grid: VoxelGrid, model, cache=None) -> np.ndarray:
+        """Normalize one grid and extract its feature array.
+
+        The single-object ingest flow (normalize → content-addressed
+        feature cache → extract on miss) used by the mutable similarity
+        database's ``add`` path; batch ingestion goes through
+        ``process_parts``/``extract_many`` instead.  Pass a
+        :class:`~repro.features.cache.FeatureCache` to share entries
+        across calls, or None for a default-rooted cache.
+        """
+        from repro.features.cache import FeatureCache
+
+        normalized, _pose = self.process_grid(grid)
+        cache = cache if cache is not None else FeatureCache()
+        return cache.get_or_extract(normalized, model)
+
     def process_part(self, part: CADPart, **overrides) -> ProcessedObject:
         """Process one labeled dataset part."""
         grid, pose = self.process_solid(part.solid, **overrides)

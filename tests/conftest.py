@@ -10,6 +10,24 @@ import pytest
 from repro.geometry.sdf import Box, Cylinder, Sphere, Torus
 from repro.voxel.voxelize import voxelize_solid
 
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # hypothesis is optional outside CI
+    pass
+else:
+    # Two effort tiers for the property/stateful tests: "dev" keeps the
+    # local edit-test loop fast, "ci" buys much deeper exploration on the
+    # build machines.  Select with HYPOTHESIS_PROFILE=ci (the CI workflow
+    # sets it; locally the default applies).
+    _common = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    settings.register_profile(
+        "ci", max_examples=150, stateful_step_count=50, **_common
+    )
+    settings.register_profile(
+        "dev", max_examples=20, stateful_step_count=15, **_common
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
 
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_cache_dir(tmp_path_factory):

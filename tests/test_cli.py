@@ -294,3 +294,71 @@ class TestBench:
         assert code == 0
         records = json.loads(out.read_text())
         assert records and all(r["label"] == "unit-test" for r in records)
+
+
+class TestDbCommands:
+    @pytest.fixture
+    def mesh_dir(self, tmp_path):
+        meshes = tmp_path / "meshes"
+        meshes.mkdir()
+        for index in range(3):
+            write_stl_binary(
+                torus_mesh(major_radius=1.0 + 0.2 * index, minor_radius=0.3),
+                meshes / f"part{index}.stl",
+            )
+        return meshes
+
+    def test_init_add_query_remove_compact(self, tmp_path, mesh_dir, capsys):
+        db_path = tmp_path / "sim.db"
+        assert main(["db", "init", str(db_path), "--covers", "5",
+                     "--resolution", "12"]) == 0
+        meshes = sorted(str(p) for p in mesh_dir.glob("*.stl"))
+        assert main(["db", "add", str(db_path)] + meshes) == 0
+        out = capsys.readouterr().out
+        assert "3 objects" in out
+
+        # query --snapshot answers without any rebuild: a mesh that is
+        # already stored must come back at distance zero.
+        assert main(["query", str(db_path), "--snapshot",
+                     "--mesh", meshes[1], "-k", "3"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        top = lines[1].split()
+        assert top[0] == "1" and float(top[2]) == 0.0
+
+        assert main(["db", "remove", str(db_path), "1"]) == 0
+        assert main(["db", "remove", str(db_path), "1"]) == 2  # already gone
+        assert main(["db", "compact", str(db_path)]) == 0
+        capsys.readouterr()  # drop the remove/compact chatter
+        assert main(["query", str(db_path), "--snapshot",
+                     "--mesh", meshes[0], "-k", "2"]) == 0
+        body = capsys.readouterr().out
+        returned_ids = [
+            line.split()[1]
+            for line in body.splitlines()
+            if line.strip() and line.split()[0].isdigit()
+        ]
+        assert returned_ids == ["0", "2"]  # object 1 was removed
+
+    def test_snapshot_query_rejects_name_lookup(self, tmp_path, capsys):
+        db_path = tmp_path / "sim.db"
+        assert main(["db", "init", str(db_path)]) == 0
+        code = main(["query", str(db_path), "--snapshot", "--name", "torus"])
+        assert code == 2
+        assert "by id" in capsys.readouterr().err
+
+    def test_db_add_writes_metrics(self, tmp_path, mesh_dir):
+        import json
+
+        db_path = tmp_path / "sim.db"
+        metrics = tmp_path / "m.json"
+        assert main(["db", "init", str(db_path), "--resolution", "12"]) == 0
+        mesh = str(next(iter(sorted(mesh_dir.glob("*.stl")))))
+        assert main(["db", "add", str(db_path), mesh,
+                     "--metrics", str(metrics)]) == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["db.mutations.add"] == 1
+        assert snapshot["gauges"]["db.size"] == 1
+        assert any(
+            name.startswith("span.db.snapshot.save")
+            for name in snapshot["histograms"]
+        )

@@ -1,0 +1,361 @@
+"""Acceptance tests for the mutable similarity database.
+
+The two headline guarantees from the issue:
+
+* after ANY interleaved add/remove/update workload, a k-nn query
+  against the incrementally maintained index returns *byte-identical*
+  results to a freshly rebuilt index;
+* a snapshot saved, reloaded in a NEW PROCESS, and queried returns the
+  same results with ZERO rebuild work (no ``insert`` runs on load —
+  asserted by monkeypatching, and by ``structure_digest`` equality
+  across the process boundary).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from contextlib import contextmanager
+
+from repro import obs
+from repro.db import BACKENDS, SimilarityDatabase
+from repro.exceptions import QueryError, StorageError
+from repro.index import MTree, RStarTree, XTree
+
+
+@contextmanager
+def capture_metrics():
+    """Enable the process metrics registry for one test body."""
+    reg = obs.registry()
+    reg.reset()
+    obs.enable()
+    try:
+        yield reg
+    finally:
+        reg.reset()
+        obs.disable()
+
+CAPACITY = 4
+DIM = 3
+
+ALL = list(BACKENDS)
+
+
+def rand_set(rng):
+    return rng.integers(-8, 9, size=(int(rng.integers(1, CAPACITY + 1)), DIM)).astype(
+        float
+    )
+
+
+def churn(db, rng, adds=40, removes=12, updates=6):
+    """A deterministic interleaved workload; returns the surviving sets."""
+    contents = {}
+    oid = 0
+    for step in range(adds):
+        arr = rand_set(rng)
+        db.add(oid, arr)
+        contents[oid] = arr
+        oid += 1
+        if step % 3 == 2 and removes:
+            victim = int(rng.choice(sorted(contents)))
+            assert db.remove(victim)
+            del contents[victim]
+            removes -= 1
+        if step % 5 == 4 and updates:
+            target = int(rng.choice(sorted(contents)))
+            arr = rand_set(rng)
+            db.update(target, arr)
+            contents[target] = arr
+            updates -= 1
+    return contents
+
+
+def results_tuple(results):
+    return [(m.object_id, m.distance) for m in results]
+
+
+class TestIncrementalEqualsRebuilt:
+    @pytest.mark.parametrize("backend", ALL)
+    def test_knn_byte_identical_to_fresh_build(self, backend, rng):
+        db = SimilarityDatabase(
+            CAPACITY, backend=backend, index_capacity=4
+        )
+        contents = churn(db, rng)
+        # A brand-new database with the same final contents: its index
+        # was bulk-built, never mutated.
+        fresh = SimilarityDatabase(
+            CAPACITY, backend=backend, index_capacity=4
+        )
+        for oid in sorted(contents):
+            fresh.add(oid, contents[oid])
+        for qi in range(6):
+            query = rand_set(rng)
+            for k in (1, 5, len(contents)):
+                got, _ = db.knn_query(query, k)
+                want, _ = fresh.knn_query(query, k)
+                assert results_tuple(got) == results_tuple(want), (backend, qi, k)
+
+    @pytest.mark.parametrize("backend", ALL)
+    def test_compact_changes_nothing_observable(self, backend, rng):
+        db = SimilarityDatabase(
+            CAPACITY, backend=backend, index_capacity=4
+        )
+        churn(db, rng)
+        query = rand_set(rng)
+        before_knn, _ = db.knn_query(query, 8)
+        before_range, _ = db.range_query(query, 4.0)
+        db.compact()
+        after_knn, _ = db.knn_query(query, 8)
+        after_range, _ = db.range_query(query, 4.0)
+        assert results_tuple(before_knn) == results_tuple(after_knn)
+        assert results_tuple(before_range) == results_tuple(after_range)
+
+    def test_range_query_matches_sequential(self, rng):
+        db = SimilarityDatabase(CAPACITY, backend="xtree", index_capacity=4)
+        contents = churn(db, rng)
+        scan = SimilarityDatabase(CAPACITY, backend="scan")
+        for oid in sorted(contents):
+            scan.add(oid, contents[oid])
+        query = rand_set(rng)
+        for eps in (0.5, 2.75, 6.0):
+            got, _ = db.range_query(query, eps)
+            want, _ = scan.range_query(query, eps)
+            assert results_tuple(got) == results_tuple(want)
+
+
+class TestEngineInvalidation:
+    def test_queries_never_see_stale_candidates(self, rng):
+        """Every mutation must invalidate the packed engine: a removed
+        object can never reappear, an added one is visible at once."""
+        db = SimilarityDatabase(CAPACITY, backend="rstar", index_capacity=4)
+        a, b = rand_set(rng), rand_set(rng)
+        db.add(1, a)
+        db.add(2, b)
+        assert {m.object_id for m in db.knn_query(a, 2)[0]} == {1, 2}
+        db.remove(1)
+        results, _ = db.knn_query(a, 5)
+        assert [m.object_id for m in results] == [2]
+        db.add(3, a)
+        results, _ = db.knn_query(a, 1)
+        assert results[0].object_id == 3 and results[0].distance == 0.0
+        db.update(2, a)
+        results, _ = db.knn_query(a, 5)
+        assert {m.distance for m in results} == {0.0}
+
+    def test_engine_rebuilds_are_lazy_and_batched(self, rng):
+        db = SimilarityDatabase(CAPACITY, backend="rstar", index_capacity=4)
+        with capture_metrics() as reg:
+            for oid in range(8):
+                db.add(oid, rand_set(rng))
+            assert reg.counter("db.engine_rebuilds").value == 0
+            db.knn_query(rand_set(rng), 2)
+            assert reg.counter("db.engine_rebuilds").value == 1
+            db.knn_query(rand_set(rng), 2)  # no mutation in between
+            assert reg.counter("db.engine_rebuilds").value == 1
+            db.remove(0)
+            db.knn_query(rand_set(rng), 2)
+            assert reg.counter("db.engine_rebuilds").value == 2
+
+    def test_mutation_counters(self, rng):
+        db = SimilarityDatabase(CAPACITY, backend="scan")
+        with capture_metrics() as reg:
+            db.add(1, rand_set(rng))
+            db.add(2, rand_set(rng))
+            db.update(2, rand_set(rng))
+            db.remove(1)
+            assert reg.counter("db.mutations.add").value == 2
+            assert reg.counter("db.mutations.update").value == 1
+            assert reg.counter("db.mutations.remove").value == 1
+            assert reg.gauge("db.size").value == 1
+
+
+class TestValidation:
+    def test_rejects_bad_input(self, rng):
+        db = SimilarityDatabase(CAPACITY)
+        db.add(1, rand_set(rng))
+        with pytest.raises(QueryError):
+            db.add(1, rand_set(rng))  # duplicate id
+        with pytest.raises(QueryError):
+            db.add(2, rng.normal(size=(CAPACITY + 1, DIM)))  # over capacity
+        with pytest.raises(QueryError):
+            db.add(2, rng.normal(size=(2, DIM + 1)))  # wrong dimension
+        with pytest.raises(QueryError):
+            db.update(99, rand_set(rng))  # unknown id
+        with pytest.raises(QueryError):
+            db.add(2, np.full((1, DIM), np.nan))  # non-finite
+        assert db.version == 1  # failed mutations must not bump
+        assert db.remove(99) is False
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(QueryError):
+            SimilarityDatabase(CAPACITY, backend="btree")
+
+    def test_version_and_views(self, rng):
+        db = SimilarityDatabase(CAPACITY, backend="scan")
+        assert db.version == 0
+        db.add(1, rand_set(rng))
+        db.add(2, rand_set(rng))
+        assert db.version == 2
+        with db.read_view() as view:
+            assert view.version == 2
+            assert view.size == 2
+            results, _ = view.knn_query(rand_set(rng), 2)
+            assert len(results) == 2
+        assert db.object_ids() == [1, 2]
+        assert 1 in db and 99 not in db
+        np.testing.assert_array_equal(db.get(1), db._sets[1])
+        with pytest.raises(QueryError):
+            db.get(99)
+
+    def test_empty_database_queries(self, rng):
+        db = SimilarityDatabase(CAPACITY)
+        results, stats = db.knn_query(rand_set(rng), 3)
+        assert results == [] and stats.exact_computations == 0
+        results, _ = db.range_query(rand_set(rng), 1.0)
+        assert results == []
+        assert db.index_digest() == "empty"
+
+
+class TestSnapshotAcceptance:
+    @pytest.mark.parametrize("backend", ALL)
+    def test_reload_is_zero_rebuild(self, backend, rng, tmp_path, monkeypatch):
+        """load() must reconstruct the index without a single insert."""
+        db = SimilarityDatabase(
+            CAPACITY, backend=backend, index_capacity=4
+        )
+        churn(db, rng)
+        path = tmp_path / "db.snap"
+        db.save(path)
+        query = rand_set(rng)
+        want, _ = db.knn_query(query, 7)
+        digest = db.index_digest()
+
+        def boom(*a, **k):  # any rebuild work fails the test
+            raise AssertionError("load() must not insert")
+
+        for cls in (RStarTree, XTree, MTree):
+            monkeypatch.setattr(cls, "insert", boom)
+        loaded = SimilarityDatabase.load(path)
+        assert loaded.index_digest() == digest
+        assert loaded.version == db.version
+        got, _ = loaded.knn_query(query, 7)
+        assert results_tuple(got) == results_tuple(want)
+
+    def test_reload_in_new_process(self, rng, tmp_path):
+        """The full acceptance criterion: a different interpreter loads
+        the snapshot and answers identically, without rebuild work."""
+        db = SimilarityDatabase(CAPACITY, backend="xtree", index_capacity=4)
+        churn(db, rng)
+        path = tmp_path / "db.snap"
+        db.save(path)
+        query = rand_set(rng)
+        want, _ = db.knn_query(query, 9)
+        expected = {
+            "digest": db.index_digest(),
+            "results": [[m.object_id, m.distance] for m in want],
+        }
+        script = """
+import json, sys
+import numpy as np
+from repro.db import SimilarityDatabase
+from repro.index import RStarTree, XTree, MTree
+
+def boom(*a, **k):
+    raise SystemExit("rebuild work detected")
+RStarTree.insert = boom  # XTree inherits
+MTree.insert = boom
+
+db = SimilarityDatabase.load(sys.argv[1])
+query = np.asarray(json.loads(sys.argv[2]))
+results, _ = db.knn_query(query, 9)
+print(json.dumps({
+    "digest": db.index_digest(),
+    "results": [[m.object_id, m.distance] for m in results],
+}))
+"""
+        src_dir = Path(__file__).resolve().parent.parent / "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(path), json.dumps(query.tolist())],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src_dir), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout) == expected
+
+    def test_snapshot_corruption_detected(self, rng, tmp_path):
+        db = SimilarityDatabase(CAPACITY, backend="rstar", index_capacity=4)
+        churn(db, rng, adds=12)
+        path = tmp_path / "db.snap"
+        db.save(path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2 + 11] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StorageError):
+            SimilarityDatabase.load(path)
+
+    def test_save_is_atomic_under_failure(self, rng, tmp_path, monkeypatch):
+        """A crash mid-save must leave the previous snapshot intact."""
+        db = SimilarityDatabase(CAPACITY, backend="scan")
+        churn(db, rng, adds=8)
+        path = tmp_path / "db.snap"
+        db.save(path)
+        good = path.read_bytes()
+        db.add(500, rand_set(rng))
+        import repro.index.snapshot as snap_mod
+
+        def crash(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(snap_mod.os, "replace", crash)
+        with pytest.raises(OSError):
+            db.save(path)
+        assert path.read_bytes() == good
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "db.snap"]
+        assert leftovers == []
+
+    def test_empty_database_roundtrip(self, tmp_path, rng):
+        db = SimilarityDatabase(CAPACITY, backend="xtree")
+        path = tmp_path / "empty.snap"
+        db.save(path)
+        loaded = SimilarityDatabase.load(path)
+        assert len(loaded) == 0
+        loaded.add(1, rand_set(rng))  # stays usable
+        assert loaded.knn_query(rand_set(rng), 1)[0][0].object_id == 1
+
+
+class TestGridIngestPath:
+    def test_add_grid_flows_through_cache(self, lshape_grid, tire_grid):
+        from repro.features.cache import FeatureCache
+        from repro.features.vector_set_model import VectorSetModel
+        from repro.pipeline import Pipeline
+
+        model = VectorSetModel(k=CAPACITY)
+        cache = FeatureCache()
+        db = SimilarityDatabase(
+            CAPACITY,
+            backend="rstar",
+            model=model,
+            pipeline=Pipeline(resolution=12),
+            cache=cache,
+        )
+        first = db.add_grid(1, lshape_grid)
+        assert cache.misses == 1 and cache.hits == 0
+        db.add_grid(2, tire_grid)
+        db.remove(1)
+        again = db.add_grid(3, lshape_grid)  # second extraction: cache hit
+        assert cache.hits == 1
+        np.testing.assert_array_equal(first, again)
+        results, _ = db.knn_query(first, 1)
+        assert results[0].object_id == 3 and results[0].distance == 0.0
+
+    def test_add_grid_requires_model(self, lshape_grid):
+        db = SimilarityDatabase(CAPACITY)
+        with pytest.raises(QueryError):
+            db.add_grid(1, lshape_grid)
