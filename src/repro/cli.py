@@ -157,6 +157,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default="xtree",
         help="access method maintained incrementally (default: xtree)",
     )
+    db_init.add_argument(
+        "--durable",
+        action="store_true",
+        help="create a write-ahead-logged database directory instead of "
+        "a snapshot file: mutations survive crashes and `load` runs the "
+        "recovery ladder",
+    )
+    db_init.add_argument(
+        "--fsync",
+        default="always",
+        metavar="POLICY",
+        help="WAL flush policy for --durable: 'always' (default, zero "
+        "acknowledged loss), 'none', or 'every-N'",
+    )
+    db_init.add_argument(
+        "--keep-generations",
+        type=int,
+        default=2,
+        metavar="N",
+        help="snapshot generations retained for recovery fallback "
+        "(default: 2)",
+    )
+    db_init.add_argument(
+        "--source",
+        type=Path,
+        default=None,
+        metavar="OBJECTDB",
+        help="ObjectDatabase archive used as the recovery ladder's "
+        "last-resort rebuild input",
+    )
     _add_obs_args(db_init)
 
     db_add = db_commands.add_parser(
@@ -183,6 +213,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     db_compact.add_argument("database", type=Path)
     _add_obs_args(db_compact)
+
+    db_verify = db_commands.add_parser(
+        "verify",
+        help="integrity-check a database: index invariants, snapshot "
+        "CRCs, WAL segment CRCs (exit 0 ok / 1 corrupt / 3 recovered "
+        "with degradation)",
+    )
+    db_verify.add_argument("database", type=Path)
+    _add_obs_args(db_verify)
 
     cluster = commands.add_parser("cluster", help="OPTICS reachability plot")
     cluster.add_argument("database", type=Path)
@@ -395,6 +434,68 @@ def _voxelize_for(db, path: Path):
     )
 
 
+def _verify_database(path: Path) -> int:
+    """``repro db verify``: exit 0 (ok), 1 (corrupt), 3 (degraded).
+
+    For a durable directory: CRC-walk every retained snapshot archive
+    and WAL segment, then run the recovery ladder in memory and
+    ``check_invariants()`` on the recovered index.  Anything the ladder
+    had to work around (a corrupt generation, a torn or missing
+    segment) is a degradation — the database *answers*, but not from
+    the happy path.  For a snapshot file: CRC check + invariants only.
+    """
+    from repro import wal as wal_module
+    from repro.db import DB_FORMAT, SimilarityDatabase
+    from repro.index.snapshot import read_archive
+
+    degradations: list[str] = []
+    durable = path.is_dir()
+    if durable:
+        layout = wal_module.DurableLayout(path)
+        layout.read_config()  # raises (-> exit 1) if this is not a durable db
+        for generation in layout.generations_on_disk():
+            snapshot = layout.snapshot_path(generation)
+            try:
+                read_archive(snapshot, DB_FORMAT)
+            except ReproError as exc:
+                degradations.append(str(exc))
+        for generation in layout.wal_generations_on_disk():
+            segment = layout.wal_path(generation)
+            records, error = wal_module.verify_segment(segment)
+            if error:
+                degradations.append(
+                    f"{segment.name}: {error} (after {records} clean records)"
+                )
+    else:
+        read_archive(path, DB_FORMAT)
+
+    db = SimilarityDatabase.load(path)
+    try:
+        if db._index is not None and hasattr(db._index, "check_invariants"):
+            db._index.check_invariants()
+    finally:
+        db.close()
+    report = db.last_recovery
+    if report is not None and report.degraded:
+        degradations.append(
+            f"recovery used generation {report.used_generation} of "
+            f"{report.requested_generation} ({report.fallbacks} fallbacks, "
+            f"{report.replayed_records} records replayed)"
+        )
+
+    print(f"objects:    {len(db)}")
+    print("invariants: ok")
+    if durable and report is not None:
+        print(f"generation: {db.generation} (replayed {report.replayed_records} records)")
+    if degradations:
+        for message in degradations:
+            print(f"degraded: {message}", file=sys.stderr)
+        print("verify: recovered with degradation")
+        return 3
+    print("verify: ok")
+    return 0
+
+
 def cmd_db(args) -> int:
     if args.db_command == "init":
         from repro.db import SimilarityDatabase
@@ -406,10 +507,29 @@ def cmd_db(args) -> int:
             backend=args.backend,
             pipeline=Pipeline(resolution=args.resolution),
             model=VectorSetModel(k=args.covers),
+            durable=args.durable,
+            path=args.database if args.durable else None,
+            fsync=args.fsync,
+            keep_generations=args.keep_generations,
+            source=args.source,
         )
-        db.save(args.database)
-        print(f"created empty {args.backend} database -> {args.database}")
+        if args.durable:
+            db.checkpoint()
+            db.close()
+            print(
+                f"created durable {args.backend} database "
+                f"(fsync={args.fsync}) -> {args.database}/"
+            )
+        else:
+            db.save(args.database)
+            print(f"created empty {args.backend} database -> {args.database}")
         return 0
+    if args.db_command == "verify":
+        try:
+            return _verify_database(args.database)
+        except ReproError as exc:
+            print(f"verify: corrupt: {exc}", file=sys.stderr)
+            return 1
 
     db = _open_snapshot(args.database)
     if args.db_command == "add":
@@ -422,6 +542,7 @@ def cmd_db(args) -> int:
             print(f"added {path.name} as object {next_oid}")
             next_oid += 1
         db.save(args.database)
+        db.close()
         db.cache.flush_stats()
         print(f"{len(db)} objects -> {args.database}")
         return 0
@@ -430,12 +551,14 @@ def cmd_db(args) -> int:
         for oid in missing:
             print(f"no object with id {oid}", file=sys.stderr)
         db.save(args.database)
+        db.close()
         print(f"{len(db)} objects -> {args.database}")
         return 2 if missing else 0
     # compact: rebuild in place; canonical tie-breaking guarantees the
     # re-packed tree answers every query identically.
     db.compact()
     db.save(args.database)
+    db.close()
     print(f"compacted {len(db)} objects -> {args.database}")
     return 0
 

@@ -7,12 +7,22 @@ are reentrant-free context managers — the database's query path takes
 :meth:`RWLock.read`, its mutation path :meth:`RWLock.write`, and a
 reader is guaranteed to observe one consistent database version for the
 whole duration of its critical section.
+
+Both sides accept ``timeout=seconds``: an acquisition that cannot
+complete within the deadline raises
+:class:`~repro.exceptions.LockTimeout` instead of blocking forever, so
+a wedged writer cannot hang crash recovery or a CLI command
+indefinitely.  A timed-out writer cleanly withdraws its waiting claim
+(readers it was blocking are released).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+
+from repro.exceptions import LockTimeout
 
 
 class RWLock:
@@ -30,12 +40,33 @@ class RWLock:
         self._writer_active = False
         self._writers_waiting = 0
 
+    @staticmethod
+    def _remaining(deadline: float | None) -> float | None:
+        """Seconds left before *deadline*; raises when it has passed."""
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise LockTimeout("lock acquisition timed out")
+        return remaining
+
     @contextmanager
-    def read(self):
-        """Shared access: blocks while a writer is active *or waiting*."""
+    def read(self, timeout: float | None = None):
+        """Shared access: blocks while a writer is active *or waiting*.
+
+        With *timeout*, raises :class:`LockTimeout` if shared access
+        cannot be granted within that many seconds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._writer_active or self._writers_waiting:
-                self._cond.wait()
+                try:
+                    self._cond.wait(self._remaining(deadline))
+                except LockTimeout:
+                    raise LockTimeout(
+                        f"read lock not acquired within {timeout}s "
+                        "(writer active or waiting)"
+                    ) from None
             self._active_readers += 1
         try:
             yield
@@ -46,17 +77,33 @@ class RWLock:
                     self._cond.notify_all()
 
     @contextmanager
-    def write(self):
+    def write(self, timeout: float | None = None):
         """Exclusive access: waits for active readers to drain, keeps
-        new readers out while waiting."""
+        new readers out while waiting.
+
+        With *timeout*, raises :class:`LockTimeout` if exclusivity
+        cannot be reached in time; the waiting claim is withdrawn so
+        blocked readers proceed.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._active_readers:
-                    self._cond.wait()
+                    try:
+                        self._cond.wait(self._remaining(deadline))
+                    except LockTimeout:
+                        raise LockTimeout(
+                            f"write lock not acquired within {timeout}s "
+                            f"({self._active_readers} active readers, "
+                            f"writer_active={self._writer_active})"
+                        ) from None
                 self._writer_active = True
             finally:
                 self._writers_waiting -= 1
+                if not self._writer_active:
+                    # Withdrawn claim: wake readers we were holding back.
+                    self._cond.notify_all()
         try:
             yield
         finally:

@@ -27,6 +27,19 @@ ever required:
   restarted process answers its first query with zero rebuild work —
   the reloaded tree is node-for-node identical
   (:func:`repro.index.snapshot.structure_digest` equality).
+* **Durability** (``durable=True``): the database lives in a directory
+  managed by :mod:`repro.wal` — every mutation is appended to a
+  CRC32-per-record write-ahead log *before* it is applied (under the
+  write lock), ``save()`` becomes a checkpoint that atomically
+  publishes a new snapshot generation and rotates the WAL segment, and
+  ``load()`` becomes a recovery ladder: newest snapshot + WAL-tail
+  replay; on snapshot corruption, the previous generation with a longer
+  replay; with no usable snapshot, a full WAL replay from empty; and as
+  a last resort a rebuild from a configured
+  :class:`~repro.io.database.ObjectDatabase` source.  Every rung emits
+  ``repro.obs`` counters (``db.recovery.fallbacks``, ...) so degraded
+  recoveries are visible, and :attr:`last_recovery` reports exactly
+  which rung served.
 
 Because every access method breaks distance ties canonically by
 ascending object id, a k-nn query against the incrementally maintained
@@ -45,6 +58,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
@@ -70,11 +84,45 @@ from repro.index.snapshot import (
     write_archive,
 )
 from repro.obs import emit, registry, span
+from repro.testing.faults import crash_point
+from repro.wal import DurableLayout, WriteAheadLog, scan_segment
 
 DB_FORMAT = "repro-similarity-db"
 DB_VERSION = 1
 
 BACKENDS = ("xtree", "rstar", "scan", "mtree")
+
+#: Default number of snapshot generations (and their WAL segments) a
+#: durable database keeps on disk for the recovery ladder's fallback.
+DEFAULT_KEEP_GENERATIONS = 2
+
+
+@dataclass
+class RecoveryReport:
+    """What the recovery ladder actually did for one ``load()``.
+
+    ``fallbacks`` counts snapshot generations that failed integrity and
+    were skipped; ``degraded`` is True whenever recovery used anything
+    but the happy path (newest snapshot + clean tail replay).
+    """
+
+    requested_generation: int
+    used_generation: int = -1
+    fallbacks: int = 0
+    replayed_records: int = 0
+    torn_segments: list[str] = field(default_factory=list)
+    missing_segments: list[str] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+    source_rebuild: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        return bool(
+            self.fallbacks
+            or self.source_rebuild
+            or self.torn_segments
+            or self.missing_segments
+        )
 
 
 class DatabaseView:
@@ -121,6 +169,19 @@ class SimilarityDatabase:
         Feature model (e.g. :class:`VectorSetModel`), normalization
         pipeline and feature cache used by :meth:`add_grid`.  Optional —
         :meth:`add` with pre-extracted sets needs none of them.
+    durable / path / fsync / keep_generations / source:
+        ``durable=True`` creates a write-ahead-logged database in the
+        directory *path* (which must not already hold one — recover an
+        existing one with :meth:`load`).  *fsync* is the WAL flush
+        policy (``"always"``, ``"none"``, ``"every-N"`` or an int);
+        *keep_generations* controls how many snapshot generations stay
+        on disk for the recovery ladder; *source* optionally names an
+        :class:`~repro.io.database.ObjectDatabase` archive used as the
+        ladder's last-resort rebuild input.
+    lock_timeout:
+        When set, every lock acquisition (both sides) raises
+        :class:`~repro.exceptions.LockTimeout` after this many seconds
+        instead of blocking forever.
     """
 
     def __init__(
@@ -135,6 +196,12 @@ class SimilarityDatabase:
         model=None,
         pipeline=None,
         cache=None,
+        durable: bool = False,
+        path: str | Path | None = None,
+        fsync="always",
+        keep_generations: int = DEFAULT_KEEP_GENERATIONS,
+        source: str | Path | None = None,
+        lock_timeout: float | None = None,
     ):
         if capacity < 1:
             raise QueryError("capacity must be >= 1")
@@ -161,6 +228,36 @@ class SimilarityDatabase:
         self._engine_version = -1
         self._lock = RWLock()
         self._engine_lock = threading.Lock()
+        self.lock_timeout = lock_timeout
+        # -- durability state ---------------------------------------------
+        self.durable = bool(durable)
+        self.fsync = fsync
+        self.keep_generations = int(keep_generations)
+        self.source = None if source is None else str(source)
+        self._layout: DurableLayout | None = None
+        self._wal: WriteAheadLog | None = None
+        self._generation = 0
+        self._replaying = False
+        self.last_recovery: RecoveryReport | None = None
+        if self.durable:
+            if path is None:
+                raise QueryError("durable=True needs a directory path")
+            if self.keep_generations < 1:
+                raise QueryError("keep_generations must be >= 1")
+            layout = DurableLayout(path)
+            if layout.exists():
+                raise StorageError(
+                    f"{layout.root} already holds a durable database; "
+                    "recover it with SimilarityDatabase.load()"
+                )
+            layout.write_config(self._durable_config())
+            layout.publish(0)
+            self._layout = layout
+            self._wal = WriteAheadLog(
+                layout.wal_path(0), generation=0, fsync=fsync, fresh=True
+            )
+        elif path is not None:
+            raise QueryError("path is only meaningful with durable=True")
 
     # -- introspection -----------------------------------------------------
 
@@ -175,12 +272,18 @@ class SimilarityDatabase:
         """Monotone counter, bumped once per successful mutation."""
         return self._version
 
+    @property
+    def generation(self) -> int:
+        """The published snapshot generation (0 until the first
+        checkpoint; always 0 for non-durable databases)."""
+        return self._generation
+
     def object_ids(self) -> list[int]:
-        with self._lock.read():
+        with self._lock.read(timeout=self.lock_timeout):
             return sorted(self._sets)
 
     def get(self, oid: int) -> np.ndarray:
-        with self._lock.read():
+        with self._lock.read(timeout=self.lock_timeout):
             try:
                 return self._sets[oid].copy()
             except KeyError:
@@ -189,12 +292,41 @@ class SimilarityDatabase:
     def index_digest(self) -> str:
         """Structure digest of the live index (see
         :func:`repro.index.snapshot.structure_digest`)."""
-        with self._lock.read():
+        with self._lock.read(timeout=self.lock_timeout):
             if self._index is None:
                 return "empty"
             return structure_digest(self._index)
 
+    def close(self) -> None:
+        """Flush and close the WAL segment (durable databases only).
+
+        Safe to call twice; a closed database must not be mutated
+        further.
+        """
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self) -> "SimilarityDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- internals ---------------------------------------------------------
+
+    def _durable_config(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "backend": self.backend,
+            "omega": None if self._omega_arg is None else self._omega_arg.tolist(),
+            "block_size": self.block_size,
+            "solver": self.solver,
+            "index_capacity": self.index_capacity,
+            "fsync": self.fsync if isinstance(self.fsync, (str, int)) else "always",
+            "keep_generations": self.keep_generations,
+            "source": self.source,
+            "resolution": getattr(self.pipeline, "resolution", None),
+        }
 
     def _as_set(self, vectors) -> np.ndarray:
         arr = np.asarray(
@@ -263,18 +395,35 @@ class SimilarityDatabase:
                 f"index lost object {oid}: store and index disagree"
             )
 
+    def _wal_log(self, op: str, *, oid: int | None = None, array=None) -> None:
+        """Append one mutation record *before* it is applied.
+
+        No-op for non-durable databases and during recovery replay.
+        The record is on stable storage (per the fsync policy) when
+        this returns, so the mutation it precedes is recoverable the
+        instant the caller's method returns — the acknowledged-write
+        contract of ``fsync='always'``.
+        """
+        if self._wal is None or self._replaying:
+            return
+        self._wal.append(op, oid=oid, array=array)
+
     # -- mutations ---------------------------------------------------------
 
     def add(self, oid: int, vectors) -> None:
         """Add one vector set under external id *oid*."""
+        self._add(oid, vectors, op="add")
+
+    def _add(self, oid: int, vectors, *, op: str) -> None:
         oid = int(oid)
         arr = self._as_set(vectors)
-        with self._lock.write():
+        with self._lock.write(timeout=self.lock_timeout):
             if oid in self._sets:
                 raise QueryError(f"object id {oid} already present")
             self._ensure_dimension(arr)
             centroid = extended_centroid(arr, self.capacity, self.omega)
-            with span("db.mutate", op="add"):
+            self._wal_log(op, oid=oid, array=arr)
+            with span("db.mutate", op=op):
                 self._index_insert(oid, arr, centroid)
             self._sets[oid] = arr
             self._centroids[oid] = centroid
@@ -282,24 +431,29 @@ class SimilarityDatabase:
 
     def add_grid(self, oid: int, grid) -> np.ndarray:
         """Voxel-grid ingest: normalize, extract (through the feature
-        cache), then :meth:`add`.  Returns the extracted set."""
+        cache), then :meth:`add`.  Returns the extracted set.
+
+        Durable databases log the *extracted* set (an ``add_grid``
+        record), so replay never needs the voxel grid or the feature
+        model."""
         if self.model is None:
             raise QueryError("add_grid needs a database with a feature model")
         from repro.pipeline import Pipeline
 
         pipeline = self.pipeline or Pipeline()
         arr = pipeline.features_for_grid(grid, self.model, cache=self.cache)
-        self.add(oid, arr)
+        self._add(oid, arr, op="add_grid")
         return arr
 
     def remove(self, oid: int) -> bool:
         """Remove the object stored under *oid*; False if absent."""
         oid = int(oid)
-        with self._lock.write():
+        with self._lock.write(timeout=self.lock_timeout):
             arr = self._sets.get(oid)
             if arr is None:
                 return False
             centroid = self._centroids[oid]
+            self._wal_log("remove", oid=oid)
             with span("db.mutate", op="remove"):
                 self._index_delete(oid, arr, centroid)
             del self._sets[oid]
@@ -311,11 +465,12 @@ class SimilarityDatabase:
         """Replace the set stored under *oid* in one atomic mutation."""
         oid = int(oid)
         arr = self._as_set(vectors)
-        with self._lock.write():
+        with self._lock.write(timeout=self.lock_timeout):
             old = self._sets.get(oid)
             if old is None:
                 raise QueryError(f"no object with id {oid}")
             centroid = extended_centroid(arr, self.capacity, self.omega)
+            self._wal_log("update", oid=oid, array=arr)
             with span("db.mutate", op="update"):
                 self._index_delete(oid, old, self._centroids[oid])
                 self._index_insert(oid, arr, centroid)
@@ -332,18 +487,23 @@ class SimilarityDatabase:
         use the rebuilt tree as the reference the incrementally
         maintained one must match byte-for-byte.
         """
-        with self._lock.write():
+        with self._lock.write(timeout=self.lock_timeout):
             if self.dimension is None:
                 return
-            with span("db.compact", objects=len(self._sets), force=True):
-                index = self._make_index(self.dimension)
-                for oid in sorted(self._sets):
-                    if self.backend == "mtree":
-                        index.insert(self._sets[oid], oid)
-                    else:
-                        index.insert(self._centroids[oid], oid)
-                self._index = index
+            self._wal_log("compact")
+            crash_point("mid-compaction")
+            self._compact_locked()
             self._bump("compact")
+
+    def _compact_locked(self) -> None:
+        with span("db.compact", objects=len(self._sets), force=True):
+            index = self._make_index(self.dimension)
+            for oid in sorted(self._sets):
+                if self.backend == "mtree":
+                    index.insert(self._sets[oid], oid)
+                else:
+                    index.insert(self._centroids[oid], oid)
+            self._index = index
 
     def _bump(self, op: str) -> None:
         self._version += 1
@@ -418,72 +578,140 @@ class SimilarityDatabase:
     def knn_query(self, query, n_neighbors: int):
         """The *n_neighbors* nearest objects by minimal matching
         distance: ``(list[QueryMatch], QueryStats)``."""
-        with self._lock.read():
+        with self._lock.read(timeout=self.lock_timeout):
             return self._knn_locked(query, n_neighbors)
 
     def range_query(self, query, epsilon: float):
         """All objects within matching distance *epsilon*."""
-        with self._lock.read():
+        with self._lock.read(timeout=self.lock_timeout):
             return self._range_locked(query, epsilon)
 
     @contextmanager
     def read_view(self):
         """Hold the read lock across several queries: everything inside
         the ``with`` block sees one frozen database version."""
-        with self._lock.read():
+        with self._lock.read(timeout=self.lock_timeout):
             yield DatabaseView(self)
 
     # -- snapshots ---------------------------------------------------------
 
-    def save(self, path: str | Path) -> Path:
-        """Write a CRC-checked snapshot (object store + exact index
-        structure) atomically to *path*."""
-        with span("db.snapshot.save", force=True) as sp, self._lock.read():
-            oids = sorted(self._sets)
-            dimension = self.dimension or 0
-            row_counts = [len(self._sets[oid]) for oid in oids]
-            offsets = np.zeros(len(oids) + 1, dtype=np.int64)
-            np.cumsum(row_counts, out=offsets[1:])
-            data = (
-                np.concatenate([self._sets[oid] for oid in oids], axis=0)
-                if oids
-                else np.empty((0, dimension))
+    def _snapshot_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The (meta, arrays) archive form of the current state.
+
+        Caller must hold either lock side.
+        """
+        oids = sorted(self._sets)
+        dimension = self.dimension or 0
+        row_counts = [len(self._sets[oid]) for oid in oids]
+        offsets = np.zeros(len(oids) + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=offsets[1:])
+        data = (
+            np.concatenate([self._sets[oid] for oid in oids], axis=0)
+            if oids
+            else np.empty((0, dimension))
+        )
+        centroids = (
+            np.vstack([self._centroids[oid] for oid in oids])
+            if oids
+            else np.empty((0, dimension))
+        )
+        arrays = {
+            "set_oids": np.asarray(oids, dtype=np.int64),
+            "set_row_offsets": offsets,
+            "set_data": np.ascontiguousarray(data, dtype=np.float64),
+            "centroids": np.ascontiguousarray(centroids, dtype=np.float64),
+        }
+        index_meta = None
+        if self._index is not None:
+            index_meta, index_arrays = serialize_index(self._index)
+            arrays.update(
+                {f"index__{name}": arr for name, arr in index_arrays.items()}
             )
-            centroids = (
-                np.vstack([self._centroids[oid] for oid in oids])
-                if oids
-                else np.empty((0, dimension))
-            )
-            arrays = {
-                "set_oids": np.asarray(oids, dtype=np.int64),
-                "set_row_offsets": offsets,
-                "set_data": np.ascontiguousarray(data, dtype=np.float64),
-                "centroids": np.ascontiguousarray(centroids, dtype=np.float64),
-            }
-            index_meta = None
-            if self._index is not None:
-                index_meta, index_arrays = serialize_index(self._index)
-                arrays.update(
-                    {f"index__{name}": arr for name, arr in index_arrays.items()}
-                )
-            meta = {
-                "format": DB_FORMAT,
-                "version": DB_VERSION,
-                "capacity": self.capacity,
-                "backend": self.backend,
-                "dimension": self.dimension,
-                "omega": None if self.omega is None else self.omega.tolist(),
-                "block_size": self.block_size,
-                "solver": self.solver,
-                "index_capacity": self.index_capacity,
-                "db_version": self._version,
-                "resolution": getattr(self.pipeline, "resolution", None),
-                "index_meta": index_meta,
-            }
+        meta = {
+            "format": DB_FORMAT,
+            "version": DB_VERSION,
+            "capacity": self.capacity,
+            "backend": self.backend,
+            "dimension": self.dimension,
+            "omega": None if self.omega is None else self.omega.tolist(),
+            "block_size": self.block_size,
+            "solver": self.solver,
+            "index_capacity": self.index_capacity,
+            "db_version": self._version,
+            "resolution": getattr(self.pipeline, "resolution", None),
+            "index_meta": index_meta,
+        }
+        return meta, arrays
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Persist the database.
+
+        Non-durable: write a CRC-checked snapshot archive atomically to
+        *path* (required).  Durable: run a :meth:`checkpoint` (*path*,
+        if given, must be the database directory; any other path writes
+        a plain archive export instead).
+        """
+        if self.durable and (
+            path is None or Path(path).resolve() == self._layout.root.resolve()
+        ):
+            return self.checkpoint()
+        if path is None:
+            raise QueryError("save() needs a path for a non-durable database")
+        with span("db.snapshot.save", force=True) as sp, self._lock.read(
+            timeout=self.lock_timeout
+        ):
+            meta, arrays = self._snapshot_state()
             result = write_archive(path, meta, arrays)
-            sp.set(objects=len(oids))
-        emit("db.snapshot", op="save", objects=len(oids), path=str(path))
+            sp.set(objects=len(self._sets))
+        emit("db.snapshot", op="save", objects=len(self._sets), path=str(path))
         return result
+
+    def checkpoint(self) -> Path:
+        """Publish a new snapshot generation and rotate the WAL.
+
+        Under the write lock: write ``snapshot-(G+1)`` atomically, seal
+        ``wal-G`` with a checkpoint record, open ``wal-(G+1)``, then
+        atomically republish ``CURRENT``.  A crash at *any* point in
+        that sequence leaves either generation G fully recoverable
+        (snapshot + sealed-or-live WAL) or generation G+1 published;
+        old generations are retired only after publication succeeds.
+        """
+        if not self.durable:
+            raise QueryError("checkpoint() is only available with durable=True")
+        with span("db.checkpoint", force=True) as sp, self._lock.write(
+            timeout=self.lock_timeout
+        ):
+            next_generation = self._generation + 1
+            snapshot_path = self._layout.snapshot_path(next_generation)
+            meta, arrays = self._snapshot_state()
+            write_archive(snapshot_path, meta, arrays)
+            self._wal.append("checkpoint", next_generation=next_generation)
+            self._wal.sync()
+            self._wal.close()
+            new_wal = WriteAheadLog(
+                self._layout.wal_path(next_generation),
+                generation=next_generation,
+                fsync=self.fsync,
+                fresh=True,
+            )
+            crash_point("mid-checkpoint-swap")
+            self._layout.publish(next_generation)
+            self._wal = new_wal
+            self._generation = next_generation
+            retired = self._layout.retire(
+                published=next_generation,
+                keep_generations=self.keep_generations,
+            )
+            registry().counter("db.checkpoints").inc()
+            sp.set(objects=len(self._sets), generation=next_generation)
+        emit(
+            "db.checkpoint",
+            generation=next_generation,
+            objects=len(self._sets),
+            retired=len(retired),
+            path=str(snapshot_path),
+        )
+        return snapshot_path
 
     @classmethod
     def load(
@@ -493,62 +721,340 @@ class SimilarityDatabase:
         model=None,
         pipeline=None,
         cache=None,
+        lock_timeout: float | None = None,
     ) -> "SimilarityDatabase":
         """Reconstruct a database from :meth:`save` output.
 
-        The index comes back node-for-node identical to the saved one —
-        no ``insert`` is ever called, so the first query runs against
-        the exact structure the previous process built (asserted by the
-        snapshot tests through ``structure_digest`` equality)."""
-        with span("db.snapshot.load", force=True) as sp:
-            meta, arrays = read_archive(path, DB_FORMAT)
-            if meta.get("version") != DB_VERSION:
-                raise StorageError(
-                    f"{path}: unsupported database version {meta.get('version')!r}"
-                )
-            if pipeline is None and meta.get("resolution"):
-                from repro.pipeline import Pipeline
+        A snapshot *file* loads directly; the index comes back
+        node-for-node identical to the saved one — no ``insert`` is
+        ever called, so the first query runs against the exact
+        structure the previous process built (asserted by the snapshot
+        tests through ``structure_digest`` equality).
 
-                pipeline = Pipeline(resolution=meta["resolution"])
-            db = cls(
-                meta["capacity"],
-                backend=meta["backend"],
-                omega=None if meta["omega"] is None else np.asarray(meta["omega"]),
-                block_size=meta["block_size"],
-                solver=meta["solver"],
-                index_capacity=meta["index_capacity"],
+        A durable *directory* runs the recovery ladder (see the module
+        docstring); the result's :attr:`last_recovery` reports which
+        rung served and how degraded the recovery was.
+        """
+        path = Path(path)
+        if path.is_dir():
+            return cls._load_durable(
+                path,
                 model=model,
                 pipeline=pipeline,
                 cache=cache,
+                lock_timeout=lock_timeout,
             )
-            try:
-                oids = [int(oid) for oid in arrays["set_oids"]]
-                offsets = arrays["set_row_offsets"]
-                data = arrays["set_data"]
-                centroids = arrays["centroids"]
-                for pos, oid in enumerate(oids):
-                    db._sets[oid] = data[
-                        int(offsets[pos]) : int(offsets[pos + 1])
-                    ].copy()
-                    db._centroids[oid] = centroids[pos].copy()
-            except (KeyError, IndexError) as exc:
-                raise StorageError(f"{path}: truncated snapshot: {exc}") from exc
-            db.dimension = meta["dimension"]
-            if db.dimension is not None and db.omega is None:
-                db.omega = np.zeros(db.dimension)
-            if meta["index_meta"] is not None:
-                prefix = "index__"
-                index_arrays = {
-                    name[len(prefix) :]: arr
-                    for name, arr in arrays.items()
-                    if name.startswith(prefix)
-                }
-                db._index = reconstruct_index(
-                    meta["index_meta"],
-                    index_arrays,
-                    metric=db._metric() if meta["backend"] == "mtree" else None,
-                )
-            db._version = meta["db_version"]
+        with span("db.snapshot.load", force=True) as sp:
+            meta, arrays = read_archive(path, DB_FORMAT)
+            db = cls._from_archive(
+                path, meta, arrays, model=model, pipeline=pipeline, cache=cache
+            )
+            db.lock_timeout = lock_timeout
             sp.set(objects=len(db._sets))
         emit("db.snapshot", op="load", objects=len(db._sets), path=str(path))
+        return db
+
+    @classmethod
+    def _from_archive(
+        cls, path, meta, arrays, *, model, pipeline, cache
+    ) -> "SimilarityDatabase":
+        """Build a database from one (meta, arrays) archive payload."""
+        if meta.get("version") != DB_VERSION:
+            raise StorageError(
+                f"{path}: unsupported database version {meta.get('version')!r}"
+            )
+        if pipeline is None and meta.get("resolution"):
+            from repro.pipeline import Pipeline
+
+            pipeline = Pipeline(resolution=meta["resolution"])
+        db = cls(
+            meta["capacity"],
+            backend=meta["backend"],
+            omega=None if meta["omega"] is None else np.asarray(meta["omega"]),
+            block_size=meta["block_size"],
+            solver=meta["solver"],
+            index_capacity=meta["index_capacity"],
+            model=model,
+            pipeline=pipeline,
+            cache=cache,
+        )
+        try:
+            oids = [int(oid) for oid in arrays["set_oids"]]
+            offsets = arrays["set_row_offsets"]
+            data = arrays["set_data"]
+            centroids = arrays["centroids"]
+            for pos, oid in enumerate(oids):
+                db._sets[oid] = data[
+                    int(offsets[pos]) : int(offsets[pos + 1])
+                ].copy()
+                db._centroids[oid] = centroids[pos].copy()
+        except (KeyError, IndexError) as exc:
+            raise StorageError(f"{path}: truncated snapshot: {exc}") from exc
+        db.dimension = meta["dimension"]
+        if db.dimension is not None and db.omega is None:
+            db.omega = np.zeros(db.dimension)
+        if meta["index_meta"] is not None:
+            prefix = "index__"
+            index_arrays = {
+                name[len(prefix) :]: arr
+                for name, arr in arrays.items()
+                if name.startswith(prefix)
+            }
+            db._index = reconstruct_index(
+                meta["index_meta"],
+                index_arrays,
+                metric=db._metric() if meta["backend"] == "mtree" else None,
+            )
+        db._version = meta["db_version"]
+        return db
+
+    # -- durable recovery --------------------------------------------------
+
+    @classmethod
+    def _bare_durable(
+        cls, config: dict, *, model, pipeline, cache, lock_timeout
+    ) -> "SimilarityDatabase":
+        """An empty database matching a durable config, with no disk
+        side effects (the recovery ladder attaches layout/WAL itself)."""
+        if pipeline is None and config.get("resolution"):
+            from repro.pipeline import Pipeline
+
+            pipeline = Pipeline(resolution=config["resolution"])
+        return cls(
+            config["capacity"],
+            backend=config["backend"],
+            omega=None if config["omega"] is None else np.asarray(config["omega"]),
+            block_size=config["block_size"],
+            solver=config["solver"],
+            index_capacity=config["index_capacity"],
+            model=model,
+            pipeline=pipeline,
+            cache=cache,
+            lock_timeout=lock_timeout,
+        )
+
+    def _apply_replay(self, record: dict) -> None:
+        """Apply one WAL record idempotently (recovery only).
+
+        Idempotency makes chained/partial replays safe: re-adding an
+        identical set is a no-op, an ``add`` over a different survivor
+        degrades to ``update``, removing an absent oid is a no-op.
+        """
+        op = record["op"]
+        if op == "checkpoint":
+            return
+        if op == "compact":
+            if self.dimension is not None:
+                with self._lock.write(timeout=self.lock_timeout):
+                    self._compact_locked()
+                    self._bump("compact")
+            return
+        oid = int(record["oid"])
+        if op == "remove":
+            self.remove(oid)
+            return
+        arr = record["array"]
+        if oid in self._sets:
+            if np.array_equal(self._sets[oid], arr):
+                return
+            self.update(oid, arr)
+        elif op == "update":
+            self.add(oid, arr)
+        else:
+            self.add(oid, arr)
+
+    @classmethod
+    def _load_durable(
+        cls, root: Path, *, model, pipeline, cache, lock_timeout
+    ) -> "SimilarityDatabase":
+        """The recovery ladder.
+
+        Rung 1: newest published snapshot + its WAL tail.
+        Rung 2..: previous generations, each with a longer chained
+        replay (``wal-g`` holds exactly the mutations between snapshot
+        *g* and snapshot *g+1*).
+        Rung 0: an empty database + the full retained WAL chain.
+        Last resort: rebuild from the configured ObjectDatabase source.
+        """
+        layout = DurableLayout(root)
+        config = layout.read_config()
+        try:
+            published = layout.current_generation()
+        except StorageError:
+            on_disk = layout.generations_on_disk()
+            published = max(on_disk) if on_disk else 0
+        report = RecoveryReport(requested_generation=published)
+        reg = registry()
+        with span("db.recover", force=True) as sp:
+            db: SimilarityDatabase | None = None
+            wal_floor = min(layout.wal_generations_on_disk(), default=0)
+            for generation in range(published, -1, -1):
+                candidate = cls._bare_durable(
+                    config,
+                    model=model,
+                    pipeline=pipeline,
+                    cache=cache,
+                    lock_timeout=lock_timeout,
+                )
+                if generation > 0:
+                    snapshot_path = layout.snapshot_path(generation)
+                    try:
+                        meta, arrays = read_archive(snapshot_path, DB_FORMAT)
+                        candidate = cls._from_archive(
+                            snapshot_path,
+                            meta,
+                            arrays,
+                            model=model,
+                            pipeline=pipeline,
+                            cache=cache,
+                        )
+                        candidate.lock_timeout = lock_timeout
+                    except StorageError as exc:
+                        report.fallbacks += 1
+                        report.failures.append(str(exc))
+                        reg.counter("db.recovery.fallbacks").inc()
+                        emit(
+                            "db.recovery.fallback",
+                            generation=generation,
+                            error=str(exc),
+                        )
+                        continue
+                elif wal_floor > 0:
+                    # The empty-base rung needs the full WAL chain;
+                    # segment 0 was retired, so only the source rung
+                    # remains.
+                    report.failures.append(
+                        f"wal floor is generation {wal_floor}: cannot "
+                        "replay from empty"
+                    )
+                    break
+                cls._replay_chain(
+                    candidate, layout, generation, published, report
+                )
+                db = candidate
+                report.used_generation = generation
+                break
+            if db is None:
+                db = cls._rebuild_from_source(
+                    config, layout, published, report,
+                    model=model, pipeline=pipeline, cache=cache,
+                    lock_timeout=lock_timeout,
+                )
+            db.durable = True
+            db.fsync = config.get("fsync", "always")
+            db.keep_generations = int(
+                config.get("keep_generations", DEFAULT_KEEP_GENERATIONS)
+            )
+            db.source = config.get("source")
+            db._layout = layout
+            db._generation = published
+            if db._wal is None:
+                # Opening the live segment for append truncates any torn
+                # tail left by the crash we are recovering from.
+                db._wal = WriteAheadLog(
+                    layout.wal_path(published),
+                    generation=published,
+                    fsync=db.fsync,
+                )
+            db.last_recovery = report
+            if report.degraded:
+                reg.counter("db.recovery.degraded").inc()
+            reg.counter("db.recovery.replayed_records").inc(
+                report.replayed_records
+            )
+            sp.set(
+                objects=len(db._sets),
+                generation=report.used_generation,
+                fallbacks=report.fallbacks,
+            )
+        emit(
+            "db.recovery",
+            path=str(root),
+            requested_generation=report.requested_generation,
+            used_generation=report.used_generation,
+            fallbacks=report.fallbacks,
+            replayed_records=report.replayed_records,
+            torn_segments=list(report.torn_segments),
+            source_rebuild=report.source_rebuild,
+            degraded=report.degraded,
+        )
+        return db
+
+    @classmethod
+    def _replay_chain(
+        cls, db, layout, start: int, published: int, report: RecoveryReport
+    ) -> None:
+        """Replay WAL segments ``start..published`` onto *db* in order."""
+        db._replaying = True
+        try:
+            for generation in range(start, published + 1):
+                wal_path = layout.wal_path(generation)
+                if not wal_path.exists():
+                    report.missing_segments.append(wal_path.name)
+                    continue
+                scan = scan_segment(wal_path)
+                if scan.torn:
+                    report.torn_segments.append(wal_path.name)
+                for record in scan.records:
+                    db._apply_replay(record)
+                    if record["op"] != "checkpoint":
+                        report.replayed_records += 1
+        finally:
+            db._replaying = False
+
+    @classmethod
+    def _rebuild_from_source(
+        cls, config, layout, published, report,
+        *, model, pipeline, cache, lock_timeout,
+    ) -> "SimilarityDatabase":
+        """Last rung: every snapshot failed and the WAL chain is
+        incomplete — rebuild from the configured ObjectDatabase.
+
+        Acknowledged mutations made after the source ingest are lost
+        (this rung exists so the service comes back *at all*); the
+        rebuilt state is logged to a fresh live segment so the next
+        checkpoint re-establishes a clean generation.
+        """
+        source = config.get("source")
+        if not source:
+            failures = "; ".join(report.failures) or "no usable snapshot"
+            raise StorageError(
+                f"{layout.root}: recovery impossible ({failures}) and no "
+                "ObjectDatabase source is configured for a full rebuild"
+            )
+        source_path = Path(source)
+        if not source_path.is_absolute():
+            source_path = layout.root / source_path
+        from repro.io.database import ObjectDatabase
+
+        odb = ObjectDatabase.load(source_path)
+        key = f"vector-set(k={config['capacity']})"
+        if not odb.has_features(key):
+            raise StorageError(
+                f"{source_path}: source database has no {key} features; "
+                "cannot rebuild"
+            )
+        db = cls._bare_durable(
+            config, model=model, pipeline=pipeline, cache=cache,
+            lock_timeout=lock_timeout,
+        )
+        # The rebuilt state must itself be durable: start a fresh live
+        # segment and log every re-added object into it.
+        db._wal = WriteAheadLog(
+            layout.wal_path(published),
+            generation=published,
+            fsync=config.get("fsync", "always"),
+            fresh=True,
+        )
+        for oid, vectors in enumerate(odb.get_features(key)):
+            db.add(oid, vectors)
+        report.source_rebuild = True
+        report.used_generation = -1
+        report.replayed_records += len(db)
+        registry().counter("db.recovery.source_rebuilds").inc()
+        emit(
+            "db.recovery.source_rebuild",
+            source=str(source_path),
+            objects=len(db),
+        )
         return db

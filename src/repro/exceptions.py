@@ -45,6 +45,30 @@ class StorageError(ReproError):
     """Persistence layer failure (unknown format, corrupt file, ...)."""
 
 
+class SnapshotIntegrityError(StorageError):
+    """A snapshot archive failed its integrity check.
+
+    Carries enough context for recovery-ladder logs to be actionable:
+    which archive *member* (array name) failed, and a human
+    classification of what that member holds (index node table, object
+    store column, ...).
+    """
+
+    def __init__(self, path, member: str, detail: str, *, kind: str | None = None):
+        self.path = str(path)
+        self.member = member
+        self.kind = kind or f"archive member {member!r}"
+        super().__init__(f"{path}: corrupt {self.kind}: {detail}")
+
+
+class WALError(StorageError):
+    """The write-ahead log is unreadable or structurally inconsistent."""
+
+
+class LockTimeout(ReproError):
+    """An ``RWLock.read``/``RWLock.write`` acquisition timed out."""
+
+
 class IngestError(ReproError):
     """Batch ingestion failed as a whole (bad policy, nothing ingested,
     or a caller asked :meth:`IngestReport.raise_if_failed` to escalate)."""

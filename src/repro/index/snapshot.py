@@ -38,12 +38,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import StorageError
+from repro.exceptions import SnapshotIntegrityError, StorageError
 from repro.index.mtree import MTree, _MEntry, _MNode
 from repro.index.pages import PageManager
 from repro.index.rstar import RStarTree, _Node
 from repro.index.scan import SequentialScan
 from repro.index.xtree import XTree
+from repro.testing.faults import crash_point
 
 SNAPSHOT_VERSION = 1
 
@@ -251,6 +252,11 @@ def write_archive(path: str | Path, meta: dict, arrays: dict[str, np.ndarray]) -
     try:
         with open(tmp, "wb") as handle:
             np.savez_compressed(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # Crash seam: the archive bytes exist only in the temporary
+        # file; dying here must leave the published snapshot untouched.
+        crash_point("mid-snapshot-write")
         os.replace(tmp, path)
     finally:
         if tmp.exists():
@@ -258,29 +264,71 @@ def write_archive(path: str | Path, meta: dict, arrays: dict[str, np.ndarray]) -
     return path
 
 
+def describe_member(name: str) -> str:
+    """A human classification of an archive member, for actionable
+    integrity errors: which *part* of the database the bad bytes hold.
+    """
+    if name == "meta":
+        return "archive metadata block"
+    if name.startswith("index__"):
+        inner = name[len("index__") :]
+        if inner.startswith("node_"):
+            return f"index node-table array {inner!r}"
+        if inner.startswith("entry_"):
+            return f"index entry-table array {inner!r}"
+        if inner.startswith("obj_"):
+            return f"index stored-object array {inner!r}"
+        return f"index structure array {inner!r}"
+    if name.startswith(("node_", "entry_", "obj_")) or name in ("points", "oids"):
+        return f"index snapshot array {name!r}"
+    if name.startswith("set_") or name == "centroids":
+        return f"object-store column {name!r}"
+    return f"archive member {name!r}"
+
+
 def read_archive(
     path: str | Path, expected_format: str
 ) -> tuple[dict, dict[str, np.ndarray]]:
-    """Read and integrity-check an archive written by :func:`write_archive`."""
+    """Read and integrity-check an archive written by :func:`write_archive`.
+
+    Integrity failures raise :class:`SnapshotIntegrityError` naming the
+    offending member and what it holds (``index node-table array
+    'entry_lowers'``, ``object-store column 'set_data'``, ...) so the
+    recovery ladder's logs say *what* is damaged, not just that
+    something is.
+    """
     path = Path(path)
-    try:
-        with np.load(path, allow_pickle=False) as archive:
-            payload = {name: archive[name] for name in archive.files}
-    except (
+    member_errors = (
         OSError,
         ValueError,
         KeyError,
         zlib.error,
         zipfile.BadZipFile,
         io.UnsupportedOperation,
-    ) as exc:
+    )
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            names = list(archive.files)
+            payload = {}
+            for name in names:
+                try:
+                    payload[name] = archive[name]
+                except member_errors as exc:
+                    raise SnapshotIntegrityError(
+                        path, name, f"unreadable: {exc}", kind=describe_member(name)
+                    ) from exc
+    except SnapshotIntegrityError:
+        raise
+    except member_errors as exc:
         raise StorageError(f"cannot read snapshot {path}: {exc}") from exc
     if "meta" not in payload:
         raise StorageError(f"{path} is not a snapshot archive (no meta block)")
     try:
         meta = json.loads(bytes(payload.pop("meta")).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise StorageError(f"{path}: corrupt snapshot metadata: {exc}") from exc
+        raise SnapshotIntegrityError(
+            path, "meta", str(exc), kind=describe_member("meta")
+        ) from exc
     if meta.get("format") != expected_format:
         raise StorageError(
             f"{path} holds {meta.get('format')!r}, expected {expected_format!r}"
@@ -289,9 +337,12 @@ def read_archive(
     actual = _checksums(payload)
     for name in sorted(set(stored) | set(actual)):
         if stored.get(name) != actual.get(name):
-            raise StorageError(
-                f"{path}: checksum mismatch for array {name!r} "
-                f"(stored {stored.get(name)!r}, computed {actual.get(name)!r})"
+            raise SnapshotIntegrityError(
+                path,
+                name,
+                f"checksum mismatch (stored {stored.get(name)!r}, "
+                f"computed {actual.get(name)!r})",
+                kind=describe_member(name),
             )
     return meta, payload
 

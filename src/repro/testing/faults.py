@@ -23,6 +23,7 @@ fault from a real one — which is the point.
 from __future__ import annotations
 
 import contextlib
+import os
 import pathlib
 from pathlib import Path
 from typing import Callable
@@ -197,6 +198,113 @@ def savez_faults(schedule: FaultSchedule, partial: bytes = PARTIAL_WRITE):
         yield schedule
     finally:
         np.savez_compressed = real
+
+
+# -- crash-point injection -----------------------------------------------------
+#
+# Named seams in the durability code path (WAL append, snapshot write,
+# checkpoint publication, compaction) call :func:`crash_point`.  In
+# production the call is a single dict lookup and returns immediately.
+# Two trigger mechanisms exist:
+#
+# * ``REPRO_CRASH_POINT=<name>[:<n>]`` in the environment kills the
+#   process with ``os._exit`` at the *n*-th (default first) hit of the
+#   named point — no cleanup, no flushing, no ``atexit``: the closest a
+#   test can get to ``kill -9`` while still choosing *where* it lands.
+#   The subprocess recovery suite drives this.
+# * :func:`armed_crash_point` arms the point in-process and raises
+#   :class:`InjectedCrash` (a ``BaseException``, so production
+#   ``except Exception`` clauses cannot swallow it).  Property tests use
+#   this to simulate hundreds of crashes without paying a process spawn
+#   per example; the "crashed" database object is simply abandoned and
+#   recovery runs from disk.
+
+#: Every named crash seam wired into the durability path.  Recovery
+#: tests iterate this tuple, so adding a seam automatically adds it to
+#: the kill/recover matrix.
+CRASH_POINTS = (
+    "after-wal-append",
+    "mid-snapshot-write",
+    "mid-checkpoint-swap",
+    "mid-compaction",
+)
+
+#: Environment variable consulted by :func:`crash_point`.
+CRASH_ENV = "REPRO_CRASH_POINT"
+
+#: Exit status of a process killed at a crash point (mirrors SIGKILL's
+#: conventional 128+9 so harnesses can tell an injected crash from an
+#: ordinary failure).
+CRASH_EXIT_CODE = 137
+
+
+class InjectedCrash(BaseException):
+    """Raised by an in-process armed crash point (never by the env
+    trigger, which ``os._exit``\\ s).  Derives from ``BaseException`` so
+    that no production error handling can absorb it."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"injected crash at point {name!r}")
+
+
+_hit_counts: dict[str, int] = {}
+_armed: dict[str, int] | None = None
+
+
+def crash_point(name: str) -> None:
+    """Production seam: die here if this crash point is triggered.
+
+    Looks up the in-process armed table first, then the
+    ``REPRO_CRASH_POINT`` environment spec (``name`` or ``name:n``).
+    Unknown names are a programming error — the seam must be listed in
+    :data:`CRASH_POINTS` so the recovery matrix covers it.
+    """
+    if name not in CRASH_POINTS:
+        raise ValueError(f"unregistered crash point {name!r}")
+    if _armed is not None and name in _armed:
+        _hit_counts[name] = _hit_counts.get(name, 0) + 1
+        if _hit_counts[name] == _armed[name]:
+            raise InjectedCrash(name)
+        return
+    spec = os.environ.get(CRASH_ENV)
+    if not spec:
+        return
+    target, _, at = spec.partition(":")
+    if target != name:
+        return
+    _hit_counts[name] = _hit_counts.get(name, 0) + 1
+    if _hit_counts[name] == int(at or 1):
+        # A real crash: no stack unwinding, no finally blocks, no
+        # buffered-write flushing.  Whatever reached the kernel is all
+        # that survives — exactly the contract the WAL must honor.
+        os._exit(CRASH_EXIT_CODE)
+
+
+@contextlib.contextmanager
+def armed_crash_point(name: str, at: int = 1):
+    """Arm *name* in-process: its *at*-th hit raises :class:`InjectedCrash`.
+
+    Hit counters reset on entry and the table is restored on exit, so
+    nested/sequential arming in one test is deterministic.
+    """
+    global _armed
+    if name not in CRASH_POINTS:
+        raise ValueError(f"unregistered crash point {name!r}")
+    previous, previous_hits = _armed, dict(_hit_counts)
+    _armed = {name: at}
+    _hit_counts.clear()
+    try:
+        yield
+    finally:
+        _armed = previous
+        _hit_counts.clear()
+        _hit_counts.update(previous_hits)
+
+
+def reset_crash_counters() -> None:
+    """Forget all hit counts (used between subprocess-free test cases)."""
+    _hit_counts.clear()
 
 
 # -- on-disk corruption helpers -----------------------------------------------
