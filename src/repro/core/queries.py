@@ -35,7 +35,11 @@ omega-norm-weight configuration of the paper).
 The centroid ranking itself can be delegated to a spatial index (the
 paper uses an X-tree, see :mod:`repro.index.xtree`) through the
 ``centroid_ranker`` hook; the default is an in-memory scan, which keeps
-this module free of index dependencies.
+this module free of index dependencies.  A ranker that additionally
+exposes ``.chunks(center)`` — yielding ``(oids, dists)`` array pairs in
+the same ascending order — is consumed through a vectorized fast path
+(the array-native index cores of :mod:`repro.index.arraycore` do);
+results and stats are identical to the per-item protocol.
 """
 
 from __future__ import annotations
@@ -198,6 +202,10 @@ class FilterRefineEngine:
             if len(set(self.oids)) != len(self.oids):
                 raise QueryError("object ids must be unique")
         self._position = {oid: pos for pos, oid in enumerate(self.oids)}
+        self._oid_arr = np.asarray(self.oids, dtype=np.int64)
+        self._oids_sorted = bool(
+            len(self._oid_arr) < 2 or np.all(self._oid_arr[:-1] < self._oid_arr[1:])
+        )
         self.omega = (
             np.zeros(self.dimension) if omega is None else np.asarray(omega, dtype=float)
         )
@@ -231,11 +239,40 @@ class FilterRefineEngine:
         for idx in np.argsort(dists, kind="stable"):
             yield self.oids[int(idx)], float(dists[idx])
 
+    def _scan_chunks(self, query_centroid: np.ndarray):
+        """Chunked form of the default ranker: a single ``(oids, dists)``
+        chunk in exactly the order :meth:`_scan_ranking` yields."""
+        dists = np.linalg.norm(self.centroids - query_centroid, axis=1)
+        order = np.argsort(dists, kind="stable")
+        yield self._oid_arr[order], dists[order]
+
+    def _chunk_source(self, centroid_ranker: CentroidRanker | None):
+        """The ``.chunks`` callable to use for this query, or None when
+        the ranker only speaks the per-item protocol."""
+        if centroid_ranker is None:
+            return self._scan_chunks
+        return getattr(centroid_ranker, "chunks", None)
+
     def _require_position(self, oid: int) -> int:
         try:
             return self._position[oid]
         except KeyError:
             raise QueryError(f"ranker yielded unknown object id {oid}") from None
+
+    def _positions_for(self, oids: np.ndarray) -> list[int]:
+        """Vectorized oid → internal-position lookup for chunked rankers."""
+        arr = np.asarray(oids)
+        if not len(arr):
+            return []
+        if self._oids_sorted:
+            pos = np.searchsorted(self._oid_arr, arr)
+            clipped = np.minimum(pos, len(self._oid_arr) - 1)
+            bad = (pos >= len(self._oid_arr)) | (self._oid_arr[clipped] != arr)
+            if bad.any():
+                oid = int(arr[int(np.argmax(bad))])
+                raise QueryError(f"ranker yielded unknown object id {oid}")
+            return pos.tolist()
+        return [self._require_position(int(o)) for o in arr]
 
     def _query_centroid(self, query: np.ndarray | VectorSet) -> np.ndarray:
         arr = np.asarray(
@@ -312,14 +349,30 @@ class FilterRefineEngine:
         with span("query.range", epsilon=epsilon) as sp:
             query_arr = self._query_array(query)
             center = self._query_centroid(query)
-            ranking = (centroid_ranker or self._scan_ranking)(center)
             cutoff = epsilon / self.capacity
             candidates: list[int] = []  # internal positions
-            for object_id, centroid_dist in ranking:
-                stats.candidates_ranked += 1
-                if centroid_dist > cutoff:
-                    break  # ranking is ascending: everything after is pruned too
-                candidates.append(self._require_position(object_id))
+            chunk_source = self._chunk_source(centroid_ranker)
+            if chunk_source is not None:
+                for chunk_oids, chunk_dists in chunk_source(center):
+                    dists_arr = np.asarray(chunk_dists, dtype=float)
+                    over = dists_arr > cutoff
+                    if over.any():
+                        # Ranking is ascending: the first candidate past the
+                        # cutoff is counted (it is the one the per-item loop
+                        # pulls and breaks on) and everything after is pruned.
+                        first = int(np.argmax(over))
+                        stats.candidates_ranked += first + 1
+                        candidates.extend(self._positions_for(chunk_oids[:first]))
+                        break
+                    stats.candidates_ranked += len(dists_arr)
+                    candidates.extend(self._positions_for(chunk_oids))
+            else:
+                ranking = centroid_ranker(center)
+                for object_id, centroid_dist in ranking:
+                    stats.candidates_ranked += 1
+                    if centroid_dist > cutoff:
+                        break  # ascending ranking: everything after is pruned
+                    candidates.append(self._require_position(object_id))
             prepared = self._prepare_query(query_arr)
             results: list[QueryMatch] = []
             for start in range(0, len(candidates), DEFAULT_CHUNK_SIZE):
@@ -368,7 +421,6 @@ class FilterRefineEngine:
         with span("query.knn", k=n_neighbors) as sp:
             query_arr = self._query_array(query)
             center = self._query_centroid(query)
-            ranking = (centroid_ranker or self._scan_ranking)(center)
             prepared = self._prepare_query(query_arr)
             # Max-heap over (distance, oid) via negation: heap[0] is the
             # current k-th candidate, the first to be displaced.
@@ -405,19 +457,61 @@ class FilterRefineEngine:
                         heapq.heapreplace(heap, (-exact, -oid))
                 pending.clear()
 
-            for object_id, centroid_dist in ranking:
-                stats.candidates_ranked += 1
-                lower_bound = self.capacity * centroid_dist
-                # Radius is stale while a block is pending (it can only have
-                # shrunk since), so firing here means the sequential
-                # algorithm stopped at or before this candidate.
-                if len(heap) == n_neighbors and lower_bound > -heap[0][0]:
-                    break
-                pending.append((self._require_position(object_id), lower_bound))
-                if len(pending) >= self.block_size:
-                    flush()
-                    if stop:
+            chunk_source = self._chunk_source(centroid_ranker)
+            if chunk_source is not None:
+                # Vectorized consumption.  Between flushes the heap (and so
+                # the pruning radius) is frozen, and a flush can only occur
+                # once ``pending`` fills, so candidates are examined in
+                # windows of at most ``block_size - len(pending)`` against a
+                # constant radius — exactly the per-item decisions, batched.
+                done = False
+                for chunk_oids, chunk_dists in chunk_source(center):
+                    bounds = self.capacity * np.asarray(chunk_dists, dtype=float)
+                    i = 0
+                    while i < len(bounds):
+                        window = bounds[i : i + self.block_size - len(pending)]
+                        take = len(window)
+                        if len(heap) == n_neighbors:
+                            over = window > -heap[0][0]
+                            if over.any():
+                                take = int(np.argmax(over))
+                                # The stopping candidate is pulled (counted)
+                                # but never refined, like the per-item break.
+                                stats.candidates_ranked += take + 1
+                                done = True
+                        if not done:
+                            stats.candidates_ranked += take
+                        for t in range(take):
+                            pending.append(
+                                (
+                                    self._require_position(int(chunk_oids[i + t])),
+                                    float(window[t]),
+                                )
+                            )
+                        if done:
+                            break
+                        i += take
+                        if len(pending) >= self.block_size:
+                            flush()
+                            if stop:
+                                done = True
+                                break
+                    if done:
                         break
+            else:
+                for object_id, centroid_dist in centroid_ranker(center):
+                    stats.candidates_ranked += 1
+                    lower_bound = self.capacity * centroid_dist
+                    # Radius is stale while a block is pending (it can only
+                    # have shrunk since), so firing here means the sequential
+                    # algorithm stopped at or before this candidate.
+                    if len(heap) == n_neighbors and lower_bound > -heap[0][0]:
+                        break
+                    pending.append((self._require_position(object_id), lower_bound))
+                    if len(pending) >= self.block_size:
+                        flush()
+                        if stop:
+                            break
             flush()
             stats.pruned = len(self._sets) - stats.exact_computations
             results = [QueryMatch(-neg_oid, -neg_dist) for neg_dist, neg_oid in heap]

@@ -145,6 +145,25 @@ class DatabaseView:
         return self._db._range_locked(query, epsilon)
 
 
+class _ChunkedRanker:
+    """Centroid ranker over an array core.
+
+    Callable like any :data:`~repro.core.queries.CentroidRanker`, but
+    also exposes :meth:`chunks` — the engine's vectorized filter loop
+    consumes whole ``(oids, distances)`` arrays instead of one pair per
+    generator step when a ranker provides it.
+    """
+
+    def __init__(self, core):
+        self._core = core
+
+    def __call__(self, center: np.ndarray):
+        return self._core.incremental_nearest(center)
+
+    def chunks(self, center: np.ndarray):
+        return self._core.ranking_chunks(center)
+
+
 class SimilarityDatabase:
     """A mutable collection of vector sets with incremental indexing.
 
@@ -182,6 +201,14 @@ class SimilarityDatabase:
         When set, every lock acquisition (both sides) raises
         :class:`~repro.exceptions.LockTimeout` after this many seconds
         instead of blocking forever.
+    use_array_core:
+        Serve queries from the struct-of-arrays index cores
+        (:mod:`repro.index.arraycore`) instead of walking the pointer
+        trees (default True).  Results are literally identical; the
+        cores are densified lazily from the live tree and invalidated
+        by any mutation.  ``False`` forces the pointer hot path (the
+        pre-array baseline, kept for benchmarking and differential
+        testing).
     """
 
     def __init__(
@@ -202,6 +229,7 @@ class SimilarityDatabase:
         keep_generations: int = DEFAULT_KEEP_GENERATIONS,
         source: str | Path | None = None,
         lock_timeout: float | None = None,
+        use_array_core: bool = True,
     ):
         if capacity < 1:
             raise QueryError("capacity must be >= 1")
@@ -229,6 +257,8 @@ class SimilarityDatabase:
         self._lock = RWLock()
         self._engine_lock = threading.Lock()
         self.lock_timeout = lock_timeout
+        self.use_array_core = bool(use_array_core)
+        self._snapshot_dense = False
         # -- durability state ---------------------------------------------
         self.durable = bool(durable)
         self.fsync = fsync
@@ -378,14 +408,50 @@ class SimilarityDatabase:
                 )
         if self._index is None:
             self._index = self._make_index(self.dimension)
+        else:
+            self._ensure_mutable_index()
+
+    def _ensure_mutable_index(self) -> None:
+        """Inflate a zero-copy loaded array core into the pointer tree.
+
+        Mutations need the pointer structures; a database whose index
+        came straight off an mmapped dense snapshot materializes them
+        here, on the first mutation, never earlier.
+        """
+        if self._index is not None and hasattr(self._index, "inflate"):
+            self._index = self._index.inflate(
+                metric=self._metric() if self.backend == "mtree" else None
+            )
+
+    def _query_index(self):
+        """The object queries rank with: the array core mirroring the
+        live tree (densified lazily, invalidated by mutations), the
+        zero-copy loaded core itself, or — with ``use_array_core=False``
+        — the pointer tree."""
+        index = self._index
+        if index is None or not self.use_array_core:
+            if index is not None and hasattr(index, "inflate"):
+                # Pointer path requested but the index was loaded as a
+                # zero-copy core: materialize the tree once.
+                self._ensure_mutable_index()
+                return self._index
+            return index
+        if hasattr(index, "serialized"):  # already an array core
+            return index
+        # mtree cores deliberately keep the scalar metric (no batch_params):
+        # the batch kernel's floats can differ from the scalar metric by
+        # ulps, and pointer==core equality must be literal.
+        return index.dense_core()
 
     def _index_insert(self, oid: int, arr: np.ndarray, centroid: np.ndarray) -> None:
+        self._ensure_mutable_index()
         if self.backend == "mtree":
             self._index.insert(arr, oid)
         else:
             self._index.insert(centroid, oid)
 
     def _index_delete(self, oid: int, arr: np.ndarray, centroid: np.ndarray) -> None:
+        self._ensure_mutable_index()
         if self.backend == "mtree":
             removed = self._index.delete(arr, oid)
         else:
@@ -518,7 +584,9 @@ class SimilarityDatabase:
         return [], QueryStats()
 
     def _ranker(self):
-        index = self._index
+        index = self._query_index()
+        if hasattr(index, "ranking_chunks"):
+            return _ChunkedRanker(index)
 
         def ranker(center: np.ndarray):
             return index.incremental_nearest(center)
@@ -545,14 +613,15 @@ class SimilarityDatabase:
 
     def _mtree_query(self, kind: str, query, arg):
         arr = self._as_set(query)
-        before = self._index.distance_computations
+        index = self._query_index()
+        before = index.distance_computations
         if kind == "knn":
-            pairs = self._index.knn(arr, arg)
+            pairs = index.knn(arr, arg)
         else:
-            pairs = self._index.range_search(arr, arg)
+            pairs = index.range_search(arr, arg)
         stats = QueryStats(
             candidates_ranked=len(self._sets),
-            exact_computations=self._index.distance_computations - before,
+            exact_computations=index.distance_computations - before,
         )
         stats.pruned = max(0, len(self._sets) - stats.exact_computations)
         return [QueryMatch(oid, float(dist)) for oid, dist in pairs], stats
@@ -643,13 +712,19 @@ class SimilarityDatabase:
         }
         return meta, arrays
 
-    def save(self, path: str | Path | None = None) -> Path:
+    def save(self, path: str | Path | None = None, *, dense: bool | None = None) -> Path:
         """Persist the database.
 
         Non-durable: write a CRC-checked snapshot archive atomically to
         *path* (required).  Durable: run a :meth:`checkpoint` (*path*,
         if given, must be the database directory; any other path writes
         a plain archive export instead).
+
+        ``dense=True`` writes the flat mmap-able container of
+        :mod:`repro.index.dense` instead of an ``.npz`` archive, so
+        :meth:`load` maps the node tables and feature store zero-copy.
+        Default: whatever format this database was loaded from (``.npz``
+        for a fresh database).  Durable checkpoints always use ``.npz``.
         """
         if self.durable and (
             path is None or Path(path).resolve() == self._layout.root.resolve()
@@ -657,11 +732,18 @@ class SimilarityDatabase:
             return self.checkpoint()
         if path is None:
             raise QueryError("save() needs a path for a non-durable database")
+        if dense is None:
+            dense = self._snapshot_dense
         with span("db.snapshot.save", force=True) as sp, self._lock.read(
             timeout=self.lock_timeout
         ):
             meta, arrays = self._snapshot_state()
-            result = write_archive(path, meta, arrays)
+            if dense:
+                from repro.index.dense import write_dense_archive
+
+                result = write_dense_archive(path, meta, arrays)
+            else:
+                result = write_archive(path, meta, arrays)
             sp.set(objects=len(self._sets))
         emit("db.snapshot", op="save", objects=len(self._sets), path=str(path))
         return result
@@ -731,6 +813,12 @@ class SimilarityDatabase:
         structure the previous process built (asserted by the snapshot
         tests through ``structure_digest`` equality).
 
+        A *dense* snapshot file (:meth:`save` with ``dense=True``) loads
+        zero-copy: sets, centroids and the index node tables stay mmap
+        views over the file, the index is served by an array core with
+        no pointer tree materialized at all, and the first mutation
+        inflates the tree lazily.
+
         A durable *directory* runs the recovery ladder (see the module
         docstring); the result's :attr:`last_recovery` reports which
         rung served and how degraded the recovery was.
@@ -744,10 +832,24 @@ class SimilarityDatabase:
                 cache=cache,
                 lock_timeout=lock_timeout,
             )
+        from repro.index.dense import is_dense_archive
+
+        dense = is_dense_archive(path)
         with span("db.snapshot.load", force=True) as sp:
-            meta, arrays = read_archive(path, DB_FORMAT)
+            if dense:
+                from repro.index.dense import read_dense_archive
+
+                meta, arrays = read_dense_archive(path, DB_FORMAT)
+            else:
+                meta, arrays = read_archive(path, DB_FORMAT)
             db = cls._from_archive(
-                path, meta, arrays, model=model, pipeline=pipeline, cache=cache
+                path,
+                meta,
+                arrays,
+                model=model,
+                pipeline=pipeline,
+                cache=cache,
+                zero_copy=dense,
             )
             db.lock_timeout = lock_timeout
             sp.set(objects=len(db._sets))
@@ -756,9 +858,15 @@ class SimilarityDatabase:
 
     @classmethod
     def _from_archive(
-        cls, path, meta, arrays, *, model, pipeline, cache
+        cls, path, meta, arrays, *, model, pipeline, cache, zero_copy=False
     ) -> "SimilarityDatabase":
-        """Build a database from one (meta, arrays) archive payload."""
+        """Build a database from one (meta, arrays) archive payload.
+
+        With ``zero_copy=True`` (dense snapshots) the sets, centroids
+        and index arrays are stored as read-only views over the caller's
+        buffers — for an mmapped file nothing is copied, and the index
+        becomes an array core instead of a reconstructed pointer tree.
+        """
         if meta.get("version") != DB_VERSION:
             raise StorageError(
                 f"{path}: unsupported database version {meta.get('version')!r}"
@@ -781,13 +889,18 @@ class SimilarityDatabase:
         try:
             oids = [int(oid) for oid in arrays["set_oids"]]
             offsets = arrays["set_row_offsets"]
-            data = arrays["set_data"]
-            centroids = arrays["centroids"]
+            # Plain-ndarray views over the same buffers: slicing an
+            # np.memmap subclass pays __array_finalize__ per slice, and
+            # every downstream kernel would inherit the subclass.  The
+            # .base chain still pins the mmap, so this stays zero-copy.
+            data = arrays["set_data"].view(np.ndarray)
+            centroids = arrays["centroids"].view(np.ndarray)
             for pos, oid in enumerate(oids):
-                db._sets[oid] = data[
-                    int(offsets[pos]) : int(offsets[pos + 1])
-                ].copy()
-                db._centroids[oid] = centroids[pos].copy()
+                block = data[int(offsets[pos]) : int(offsets[pos + 1])]
+                db._sets[oid] = block if zero_copy else block.copy()
+                db._centroids[oid] = (
+                    centroids[pos] if zero_copy else centroids[pos].copy()
+                )
         except (KeyError, IndexError) as exc:
             raise StorageError(f"{path}: truncated snapshot: {exc}") from exc
         db.dimension = meta["dimension"]
@@ -800,12 +913,23 @@ class SimilarityDatabase:
                 for name, arr in arrays.items()
                 if name.startswith(prefix)
             }
-            db._index = reconstruct_index(
-                meta["index_meta"],
-                index_arrays,
-                metric=db._metric() if meta["backend"] == "mtree" else None,
-            )
+            if zero_copy:
+                from repro.index.arraycore import core_from_serialized
+
+                is_mtree = meta["backend"] == "mtree"
+                db._index = core_from_serialized(
+                    meta["index_meta"],
+                    index_arrays,
+                    metric=db._metric() if is_mtree else None,
+                )
+            else:
+                db._index = reconstruct_index(
+                    meta["index_meta"],
+                    index_arrays,
+                    metric=db._metric() if meta["backend"] == "mtree" else None,
+                )
         db._version = meta["db_version"]
+        db._snapshot_dense = bool(zero_copy)
         return db
 
     # -- durable recovery --------------------------------------------------

@@ -112,6 +112,23 @@ class PageManager:
         counter("io.page_accesses").inc(spans)
         counter("io.bytes_read").inc(nbytes)
 
+    def read_spans(self, spans: int, nbytes: int) -> None:
+        """Record a batched node-table read: *spans* page accesses and
+        *nbytes* payload bytes in one call.
+
+        The array cores read whole node batches from contiguous tables
+        rather than one page object at a time; this entry point keeps
+        ``io.page_accesses`` identical to what per-node :meth:`read`
+        calls over the same node set would have charged, so Table 2
+        comparisons stay valid.
+        """
+        if spans < 0 or nbytes < 0:
+            raise IndexError_("batched read must be non-negative")
+        self.cost.page_accesses += spans
+        self.cost.bytes_read += nbytes
+        counter("io.page_accesses").inc(spans)
+        counter("io.bytes_read").inc(nbytes)
+
     def read_bytes(self, nbytes: int) -> None:
         """Record a raw sequential read of *nbytes* (for scan baselines):
         pages are derived from the byte count."""

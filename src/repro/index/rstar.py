@@ -155,6 +155,26 @@ class RStarTree:
         self.reinsert_count = int(reinsert_fraction * capacity)
         self.root = self._new_node(level=0)
         self.size = 0
+        self._dense_core = None
+
+    # -- array core --------------------------------------------------------
+
+    def dense_core(self):
+        """The struct-of-arrays query core mirroring this tree.
+
+        Built lazily from the snapshot serialization and cached until
+        the next mutation; it shares this tree's page manager, so query
+        I/O accounting is unified no matter which representation served
+        the query.
+        """
+        if self._dense_core is None:
+            from repro.index.arraycore import densify
+
+            self._dense_core = densify(self)
+        return self._dense_core
+
+    def _invalidate_core(self) -> None:
+        self._dense_core = None
 
     # -- construction ------------------------------------------------------
 
@@ -167,6 +187,7 @@ class RStarTree:
         point = np.asarray(point, dtype=float)
         if point.shape != (self.dimension,):
             raise IndexError_(f"expected a {self.dimension}-d point, got {point.shape}")
+        self._invalidate_core()
         self._insert_entry(point.copy(), point.copy(), oid, level=0, overflown=set())
         self.size += 1
 
@@ -178,6 +199,7 @@ class RStarTree:
             raise IndexError_("box corners have wrong dimension")
         if np.any(lower > upper):
             raise IndexError_("box lower corner must not exceed upper corner")
+        self._invalidate_core()
         self._insert_entry(lower.copy(), upper.copy(), oid, level=0, overflown=set())
         self.size += 1
 
@@ -351,6 +373,7 @@ class RStarTree:
         leaf, slot = self._find_leaf(self.root, point, oid)
         if leaf is None:
             return False
+        self._invalidate_core()
         keep = np.arange(leaf.size) != slot
         leaf.set_entries(
             leaf.lowers[keep], leaf.uppers[keep], [leaf.oids[i] for i in range(leaf.size) if i != slot]

@@ -32,15 +32,29 @@ class SequentialScan:
         self.pages = page_manager or PageManager()
         self._points: list[np.ndarray] = []
         self._oids: list[int] = []
+        self._dense_core = None
 
     @property
     def size(self) -> int:
         return len(self._oids)
 
+    def dense_core(self):
+        """The contiguous-matrix query core mirroring this scan (cached
+        until the next mutation; shares this scan's page manager)."""
+        if self._dense_core is None:
+            from repro.index.arraycore import densify
+
+            self._dense_core = densify(self)
+        return self._dense_core
+
+    def _invalidate_core(self) -> None:
+        self._dense_core = None
+
     def insert(self, point: np.ndarray, oid: int) -> None:
         point = np.asarray(point, dtype=float)
         if point.shape != (self.dimension,):
             raise IndexError_(f"expected a {self.dimension}-d point, got {point.shape}")
+        self._invalidate_core()
         self._points.append(point.copy())
         self._oids.append(oid)
 
@@ -56,6 +70,7 @@ class SequentialScan:
             where = self._oids.index(oid)
         except ValueError:
             return False
+        self._invalidate_core()
         self._points.pop(where)
         self._oids.pop(where)
         return True

@@ -193,6 +193,9 @@ def _serialize_scan(tree: SequentialScan) -> tuple[dict, dict[str, np.ndarray]]:
 
 
 def _serialize(tree) -> tuple[dict, dict[str, np.ndarray]]:
+    if hasattr(tree, "serialized"):  # an array core already *is* the flat form
+        meta, arrays = tree.serialized()
+        return dict(meta), dict(arrays)
     kind = _kind_of(tree)
     if kind == "mtree":
         meta, arrays = _serialize_mtree(tree)
@@ -347,9 +350,19 @@ def read_archive(
     return meta, payload
 
 
-def save_index(tree, path: str | Path) -> Path:
-    """Atomically write a CRC-checked snapshot of *tree* to *path*."""
+def save_index(tree, path: str | Path, *, dense: bool = False) -> Path:
+    """Atomically write a CRC-checked snapshot of *tree* to *path*.
+
+    ``dense=True`` writes the flat mmap-able container of
+    :mod:`repro.index.dense` instead of an ``.npz`` archive;
+    :func:`load_index` then returns a zero-copy array core whose node
+    tables are views over the file.
+    """
     meta, arrays = _serialize(tree)
+    if dense:
+        from repro.index.dense import write_dense_archive
+
+        return write_dense_archive(path, meta, arrays)
     return write_archive(path, meta, arrays)
 
 
@@ -477,13 +490,33 @@ def load_index(
     metric=None,
     page_manager: PageManager | None = None,
 ):
-    """Reconstruct the tree stored at *path* without any rebuild work.
+    """Reconstruct the index stored at *path* without any rebuild work.
 
-    The returned tree has the exact node/entry structure that was saved
-    (``structure_digest`` of the result equals the saved tree's), fresh
-    page accounting, and — for M-trees — the caller-supplied *metric*.
+    An ``.npz`` snapshot reconstructs the pointer tree exactly as saved
+    (``structure_digest`` of the result equals the saved tree's), with
+    fresh page accounting and — for M-trees — the caller-supplied
+    *metric*.  A dense snapshot (:func:`save_index` with ``dense=True``)
+    instead returns the matching **array core** whose node tables are
+    zero-copy mmap views over the file: the process answers its first
+    query without materializing a single node object, and the core's
+    :meth:`inflate` produces the pointer tree on demand.
     """
-    meta, arrays = _load_arrays(Path(path))
+    path = Path(path)
+    from repro.index.dense import is_dense_archive
+
+    if is_dense_archive(path):
+        from repro.index.arraycore import core_from_serialized
+        from repro.index.dense import read_dense_archive
+
+        meta, arrays = read_dense_archive(path, "repro-index-snapshot")
+        if meta.get("version") != SNAPSHOT_VERSION:
+            raise StorageError(
+                f"{path}: unsupported snapshot version {meta.get('version')!r}"
+            )
+        return core_from_serialized(
+            meta, arrays, metric=metric, page_manager=page_manager
+        )
+    meta, arrays = _load_arrays(path)
     return reconstruct_index(
         meta, arrays, metric=metric, page_manager=page_manager
     )

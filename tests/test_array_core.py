@@ -1,0 +1,317 @@
+"""Array-native index cores: equivalence, zero-copy loads, durability.
+
+The struct-of-arrays cores of :mod:`repro.index.arraycore` promise
+*literal* equality with the pointer trees they mirror — same oids, same
+``(distance, oid)`` order, bit-identical distances — plus a dense
+snapshot container whose mmap-backed load answers its first query
+without materializing the tree.  These tests pin each promise:
+
+* ``structure_digest`` of a core's serialized form equals the pointer
+  tree's, and ``inflate`` reconstructs an identical tree;
+* ``knn_many`` equals per-query ``knn`` across backends, corpora
+  (uniform, clustered, duplicate-heavy, box entries) and k values,
+  including the degenerate shapes (empty tree, empty batch, k > n);
+* zero-copy loads keep O(1) resident copies (every table is a view on
+  one shared ``np.memmap``) and survive a fresh subprocess
+  byte-for-byte;
+* CRC corruption and structural corruption are both caught — by
+  ``read_dense_archive(verify=True)`` / ``repro db verify`` and by
+  ``check_invariants`` respectively.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.db import SimilarityDatabase
+from repro.exceptions import IndexError_, SnapshotIntegrityError
+from repro.index import MTree, RStarTree, SequentialScan, XTree
+from repro.index.arraycore import (
+    MTreeArrayCore,
+    RTreeArrayCore,
+    ScanArrayCore,
+    densify,
+)
+from repro.index.dense import read_dense_archive, write_dense_archive
+from repro.index.snapshot import serialize_index, structure_digest
+
+DIM = 4
+
+BACKENDS = {
+    "rstar": lambda: RStarTree(DIM, capacity=4),
+    "xtree": lambda: XTree(DIM, capacity=4, max_overlap=0.0),
+    "scan": lambda: SequentialScan(DIM),
+}
+
+
+def corpus(name: str, rng: np.random.Generator, n: int = 400) -> np.ndarray:
+    if name == "uniform":
+        return rng.uniform(0.0, 100.0, size=(n, DIM))
+    if name == "clustered":
+        centers = rng.uniform(0.0, 100.0, size=(8, DIM))
+        family = rng.integers(0, len(centers), size=n)
+        points = centers[family] + rng.normal(0.0, 4.0, size=(n, DIM))
+        points[: n // 20] = rng.uniform(0.0, 100.0, size=(n // 20, DIM))
+        return points
+    if name == "duplicates":
+        base = rng.integers(0, 8, size=(n // 4, DIM)).astype(float)
+        return np.repeat(base, 4, axis=0)
+    raise AssertionError(name)
+
+
+def build(backend: str, points: np.ndarray):
+    tree = BACKENDS[backend]()
+    for oid, point in enumerate(points):
+        tree.insert(point, oid)
+    return tree
+
+
+# -- structural equivalence -----------------------------------------------
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_digest_and_inflate_roundtrip(backend):
+    rng = np.random.default_rng(5)
+    tree = build(backend, corpus("clustered", rng))
+    core = tree.dense_core()
+    core.check_invariants()
+    want = structure_digest(tree)
+    meta, arrays = core.serialized()
+    tree_meta, tree_arrays = serialize_index(tree)
+    assert set(arrays) == set(tree_arrays)
+    for name in arrays:
+        assert np.array_equal(arrays[name], tree_arrays[name]), name
+    inflated = core.inflate()
+    assert structure_digest(inflated) == want
+    if hasattr(inflated, "check_invariants"):
+        inflated.check_invariants()
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_core_queries_equal_pointer(backend):
+    rng = np.random.default_rng(6)
+    points = corpus("clustered", rng)
+    tree = build(backend, points)
+    core = tree.dense_core()
+    for query in rng.uniform(0.0, 100.0, size=(10, DIM)):
+        assert core.knn(query, 7) == tree.knn(query, 7)
+        assert core.range_search(query, 9.0) == tree.range_search(query, 9.0)
+
+
+# -- batched knn ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+@pytest.mark.parametrize("name", ["uniform", "clustered", "duplicates"])
+def test_knn_many_matches_knn(backend, name):
+    rng = np.random.default_rng(7)
+    points = corpus(name, rng)
+    tree = build(backend, points)
+    core = tree.dense_core()
+    queries = np.vstack(
+        [rng.uniform(0.0, 100.0, size=(12, DIM)), points[:6]]
+    )
+    for k in (1, 3, 10, 60):
+        batched = core.knn_many(queries, k)
+        assert batched == [core.knn(q, k) for q in queries]
+        assert batched == [tree.knn(q, k) for q in queries]
+
+
+def test_knn_many_box_entries():
+    # Box entries (lo != hi) take the non-point distance path.
+    rng = np.random.default_rng(8)
+    tree = RStarTree(3, capacity=4)
+    for oid in range(200):
+        lower = rng.uniform(0.0, 50.0, size=3)
+        tree.insert_box(lower, lower + rng.uniform(0.0, 5.0, size=3), oid)
+    core = tree.dense_core()
+    queries = rng.uniform(0.0, 60.0, size=(10, 3))
+    for k in (1, 5, 20):
+        assert core.knn_many(queries, k) == [core.knn(q, k) for q in queries]
+
+
+def test_knn_many_edges():
+    rng = np.random.default_rng(9)
+    empty = XTree(DIM, capacity=4).dense_core()
+    queries = rng.uniform(0.0, 1.0, size=(3, DIM))
+    assert empty.knn_many(queries, 5) == [[], [], []]
+    assert empty.knn_many(np.empty((0, DIM)), 5) == []
+    tiny = build("rstar", rng.uniform(0.0, 1.0, size=(3, DIM)))
+    core = tiny.dense_core()
+    assert core.knn_many(queries, 10) == [core.knn(q, 10) for q in queries]
+    with pytest.raises(IndexError_):
+        core.knn_many(queries, 0)
+    with pytest.raises(IndexError_):
+        core.knn_many(np.zeros((2, DIM + 1)), 1)
+
+
+def test_knn_many_mtree_parity():
+    rng = np.random.default_rng(10)
+
+    def euclidean(a, b):
+        return float(np.linalg.norm(np.asarray(a, float) - np.asarray(b, float)))
+
+    tree = MTree(euclidean, capacity=4)
+    points = rng.integers(-20, 20, size=(80, DIM)).astype(float)
+    for oid, point in enumerate(points):
+        tree.insert(point, oid)
+    core = tree.dense_core()
+    assert isinstance(core, MTreeArrayCore)
+    queries = list(rng.integers(-20, 20, size=(5, DIM)).astype(float))
+    assert core.knn_many(queries, 6) == [core.knn(q, 6) for q in queries]
+
+
+def test_knn_many_charges_pages_and_counters():
+    from repro import obs
+    from repro.obs.metrics import registry
+
+    rng = np.random.default_rng(11)
+    tree = build("xtree", corpus("clustered", rng))
+    core = tree.dense_core()
+    queries = rng.uniform(0.0, 100.0, size=(8, DIM))
+    obs.enable()
+    try:
+        registry().reset()
+        before = core.pages.cost.page_accesses
+        core.knn_many(queries, 5)
+        assert core.pages.cost.page_accesses > before
+        batched = registry().counter("index.nodes_batched").value
+        assert batched > 0
+    finally:
+        obs.disable()
+        registry().reset()
+
+
+# -- dense snapshots: zero-copy, durability, verification ------------------
+
+
+def make_db(n: int = 60, seed: int = 12) -> SimilarityDatabase:
+    rng = np.random.default_rng(seed)
+    db = SimilarityDatabase(5, backend="xtree")
+    for oid in range(n):
+        size = int(rng.integers(1, 6))
+        db.add(oid, rng.standard_normal((size, 7)))
+    return db
+
+
+def test_dense_load_is_zero_copy(tmp_path):
+    db = make_db()
+    rng = np.random.default_rng(13)
+    query = rng.standard_normal((2, 7))
+    want = db.knn_query(query, 5)[0]
+    npz_path, dense_path = tmp_path / "db.npz", tmp_path / "db.dense"
+    db.save(npz_path)
+    db.save(dense_path, dense=True)
+
+    meta, arrays = read_dense_archive(dense_path)
+    bases = set()
+    for name, array in arrays.items():
+        base = array
+        while isinstance(base, np.ndarray) and base.base is not None:
+            base = base.base
+        bases.add(id(base))
+        assert not array.flags.writeable, name
+    # O(1) resident copies: every table is a view over ONE shared mmap.
+    assert len(bases) == 1
+
+    loaded = SimilarityDatabase.load(dense_path)
+    # Zero tree rebuild: the index slot holds the array core itself,
+    # not a reconstructed pointer tree.
+    assert isinstance(loaded._index, RTreeArrayCore)
+    assert loaded.knn_query(query, 5)[0] == want
+    assert SimilarityDatabase.load(npz_path).knn_query(query, 5)[0] == want
+
+
+def test_dense_load_subprocess_byte_for_byte(tmp_path):
+    db = make_db(seed=14)
+    rng = np.random.default_rng(15)
+    query = rng.standard_normal((2, 7))
+    want = [
+        (match.object_id, match.distance.hex())
+        for match in db.knn_query(query, 5)[0]
+    ]
+    dense_path = tmp_path / "db.dense"
+    db.save(dense_path, dense=True)
+    query_path = tmp_path / "query.npy"
+    np.save(query_path, query)
+    script = (
+        "import sys, numpy as np\n"
+        "from repro.db import SimilarityDatabase\n"
+        "db = SimilarityDatabase.load(sys.argv[1])\n"
+        "query = np.load(sys.argv[2])\n"
+        "for match in db.knn_query(query, 5)[0]:\n"
+        "    print(match.object_id, match.distance.hex())\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(dense_path), str(query_path)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    got = [
+        (int(oid), dist)
+        for oid, dist in (line.split() for line in proc.stdout.splitlines())
+    ]
+    assert got == want
+
+
+def test_mutation_after_zero_copy_load(tmp_path):
+    db = make_db(seed=16)
+    dense_path = tmp_path / "db.dense"
+    db.save(dense_path, dense=True)
+    rng = np.random.default_rng(17)
+    extra = rng.standard_normal((3, 7))
+    query = rng.standard_normal((2, 7))
+
+    loaded = SimilarityDatabase.load(dense_path)
+    loaded.add(999, extra)
+    db.add(999, extra)
+    assert loaded.knn_query(query, 5)[0] == db.knn_query(query, 5)[0]
+
+
+def test_dense_crc_corruption_detected(tmp_path):
+    from repro.cli import main
+
+    db = make_db(seed=18)
+    dense_path = tmp_path / "db.dense"
+    db.save(dense_path, dense=True)
+    assert main(["db", "verify", str(dense_path)]) == 0
+
+    raw = bytearray(dense_path.read_bytes())
+    raw[-8] ^= 0xFF  # flip a byte inside the last array block
+    dense_path.write_bytes(bytes(raw))
+    with pytest.raises(SnapshotIntegrityError):
+        read_dense_archive(dense_path, verify=True)
+    assert main(["db", "verify", str(dense_path)]) == 1
+
+
+def test_check_invariants_rejects_corrupt_tables():
+    rng = np.random.default_rng(19)
+    tree = build("rstar", corpus("uniform", rng, n=120))
+    meta, arrays = serialize_index(tree)
+    broken = dict(arrays)
+    offsets = np.array(broken["entry_offsets"], dtype=np.int64)
+    offsets[-1] += 1  # points past the entry tables
+    broken["entry_offsets"] = offsets
+    with pytest.raises(IndexError_):
+        RTreeArrayCore(meta, broken).check_invariants()
+
+
+def test_dense_roundtrip_preserves_arrays(tmp_path):
+    rng = np.random.default_rng(20)
+    tree = build("xtree", corpus("clustered", rng, n=150))
+    meta, arrays = serialize_index(tree)
+    path = tmp_path / "tree.dense"
+    write_dense_archive(path, dict(meta, format="test"), arrays)
+    got_meta, got_arrays = read_dense_archive(path, "test", verify=True)
+    assert set(got_arrays) == set(arrays)
+    for name in arrays:
+        assert np.array_equal(got_arrays[name], arrays[name]), name
+    core = RTreeArrayCore(dict(got_meta, **meta), dict(got_arrays))
+    core.check_invariants()
+    query = rng.uniform(0.0, 100.0, size=DIM)
+    assert core.knn(query, 5) == tree.knn(query, 5)

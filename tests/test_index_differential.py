@@ -61,6 +61,10 @@ class IndexDifferentialMachine(RuleBasedStateMachine):
     def _check_all(self):
         for tree in (self.rstar, self.xtree, self.mtree):
             tree.check_invariants()
+        # Every mutation invalidates the cached array core; re-densify
+        # and structurally verify the fresh node tables as well.
+        for tree in self.trees:
+            tree.dense_core().check_invariants()
 
     @rule(point=points)
     def insert(self, point):
@@ -110,6 +114,11 @@ class IndexDifferentialMachine(RuleBasedStateMachine):
         ]
         for tree in self.trees:
             assert tree.knn(arr, k) == expected, type(tree).__name__
+            core = tree.dense_core()
+            assert core.knn(arr, k) == expected, type(core).__name__
+            assert core.knn_many([arr, arr], k) == [expected, expected], (
+                type(core).__name__
+            )
 
     @precondition(lambda self: self.model)
     @rule(center=points, radius=st.integers(min_value=0, max_value=40))
@@ -136,6 +145,9 @@ class IndexDifferentialMachine(RuleBasedStateMachine):
             assert list(tree.incremental_nearest(arr)) == expected, (
                 type(tree).__name__
             )
+            assert list(tree.dense_core().incremental_nearest(arr)) == (
+                expected
+            ), type(tree).__name__
 
     # -- global coherence --------------------------------------------------
 
