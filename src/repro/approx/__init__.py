@@ -1,0 +1,25 @@
+"""Approximate candidate tier: LSH set sketches + Hamming shortlisting.
+
+See :mod:`repro.approx.sketch` (set → packed binary sketch),
+:mod:`repro.approx.hamming` (incremental Hamming index) and
+:mod:`repro.approx.engine` (shortlist-then-exact-refine queries).
+"""
+
+from repro.approx.engine import ApproxFilterRefineEngine, default_shortlist
+from repro.approx.hamming import HammingIndex
+from repro.approx.sketch import (
+    DEFAULT_NNZ,
+    DEFAULT_WIDTH,
+    DEFAULT_WTA,
+    SetSketcher,
+)
+
+__all__ = [
+    "ApproxFilterRefineEngine",
+    "HammingIndex",
+    "SetSketcher",
+    "default_shortlist",
+    "DEFAULT_WIDTH",
+    "DEFAULT_NNZ",
+    "DEFAULT_WTA",
+]

@@ -1,0 +1,122 @@
+"""Approximate filter-refine: Hamming shortlist, exact refine on top.
+
+:class:`ApproxFilterRefineEngine` composes the three exact-tier pieces
+this package adds nothing to: the existing
+:class:`~repro.core.queries.FilterRefineEngine` (refinement + canonical
+result order), a :class:`~repro.approx.sketch.SetSketcher` (query →
+packed code) and a :class:`~repro.approx.hamming.HammingIndex`
+(code → shortlist).  A query sketches once, Hamming-ranks the database,
+and runs the *exact* batched minimal-matching refine over only the
+``shortlist`` best codes — so results are always true distances over a
+possibly-incomplete candidate set, never approximate distances.  With
+``shortlist >= n`` every object is refined and the result equals the
+exact engine's by construction.
+
+The exact path stays the default and the oracle:
+:meth:`knn_query_with_oracle` runs both tiers and records the
+ground-truth-vs-returned overlap in :mod:`repro.obs` (histogram
+``approx.overlap``), alongside ``approx.shortlist_size`` and
+``approx.exact_skipped`` recorded on every approximate query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.hamming import HammingIndex
+from repro.approx.sketch import SetSketcher
+from repro.core.queries import FilterRefineEngine, QueryMatch, QueryStats
+from repro.exceptions import QueryError
+from repro.obs import emit, registry, span
+
+__all__ = ["ApproxFilterRefineEngine", "default_shortlist"]
+
+
+def default_shortlist(n_neighbors: int) -> int:
+    """Default Hamming budget: generous oversampling of small k."""
+    return max(8 * n_neighbors, 64)
+
+
+class ApproxFilterRefineEngine:
+    """Sketch-shortlisted approximate k-nn over an exact engine."""
+
+    def __init__(
+        self,
+        engine: FilterRefineEngine,
+        sketcher: SetSketcher,
+        hamming: HammingIndex,
+    ):
+        if sketcher.words != hamming.words:
+            raise QueryError(
+                f"sketcher produces {sketcher.words}-word codes but the "
+                f"Hamming index stores {hamming.words}-word codes"
+            )
+        self.engine = engine
+        self.sketcher = sketcher
+        self.hamming = hamming
+
+    def knn_query(
+        self,
+        query: np.ndarray,
+        n_neighbors: int,
+        *,
+        shortlist: int | None = None,
+    ) -> tuple[list[QueryMatch], QueryStats]:
+        """Approximate k-nn: exact refine restricted to a Hamming shortlist.
+
+        ``shortlist`` is the candidate budget (clamped to at least
+        ``n_neighbors``, at most the database size); ``None`` picks
+        :func:`default_shortlist`.  Returned distances are exact, and
+        the result order is the same canonical ``(distance, oid)`` key
+        as the exact engine's.
+        """
+        if n_neighbors < 1:
+            raise QueryError("n_neighbors must be >= 1")
+        budget = default_shortlist(n_neighbors) if shortlist is None else int(shortlist)
+        if budget < 1:
+            raise QueryError("shortlist budget must be >= 1")
+        budget = max(budget, n_neighbors)
+        n = len(self.hamming)
+        with span("query.approx_knn", k=n_neighbors, budget=budget):
+            code = self.sketcher.sketch(query)
+            candidates = self.hamming.shortlist(code[None, :], budget)[0]
+            results, stats = self.engine.knn_refine_subset(
+                query, n_neighbors, candidates
+            )
+        reg = registry()
+        if reg.enabled:
+            reg.counter("approx.queries").inc()
+            reg.histogram("approx.shortlist_size").observe(len(candidates))
+            reg.counter("approx.exact_skipped").inc(n - len(candidates))
+            emit(
+                "approx_query",
+                k=n_neighbors,
+                budget=budget,
+                shortlist=len(candidates),
+                exact_skipped=n - len(candidates),
+            )
+        return results, stats
+
+    def knn_query_with_oracle(
+        self,
+        query: np.ndarray,
+        n_neighbors: int,
+        *,
+        shortlist: int | None = None,
+    ) -> tuple[list[QueryMatch], list[QueryMatch], float]:
+        """Run both tiers; returns ``(approx, exact, overlap)``.
+
+        *overlap* is ``|approx ∩ exact| / |exact|`` over the returned
+        oid sets (recall@k against the exact oracle), recorded in the
+        ``approx.overlap`` histogram.  Used by the Pareto bench and by
+        anyone wanting a live recall estimate on real traffic.
+        """
+        approx, _ = self.knn_query(query, n_neighbors, shortlist=shortlist)
+        exact, _ = self.engine.knn_query(query, n_neighbors)
+        truth = {match.object_id for match in exact}
+        got = {match.object_id for match in approx}
+        overlap = len(truth & got) / len(truth) if truth else 1.0
+        reg = registry()
+        if reg.enabled:
+            reg.histogram("approx.overlap").observe(overlap)
+        return approx, exact, overlap

@@ -1,0 +1,210 @@
+"""Binary set sketches via seeded sparse random projections.
+
+Implements the fly-olfactory-style locality-sensitive sketch of
+"Approximate Vector Set Search" (arXiv 2412.03301) adapted to the
+paper's vector-set objects: every element of a set is expanded through a
+sparse signed random projection into a wide activation vector, the
+``wta`` strongest activations per element light one bit each, and the
+per-element codes are pooled over the set (OR-pool by default, which
+makes the sketch invariant under element permutation — a hard
+requirement, since minimal matching distance is permutation invariant).
+The pooled code is packed into little-endian ``uint64`` words so Hamming
+distances reduce to ``popcount(xor)``.
+
+The projection matrix is generated deterministically from
+``(seed, dims, width, nnz)`` through :mod:`repro.seeding` — two
+processes with the same parameters build bit-identical matrices — and is
+additionally *persisted* inside database snapshots, content-addressed by
+a SHA-256 digest, so sketches stay reproducible even across future
+changes to the generation scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.seeding import DEFAULT_SEED, spawn
+
+__all__ = ["SetSketcher", "DEFAULT_WIDTH", "DEFAULT_NNZ", "DEFAULT_WTA"]
+
+#: Sketch width in bits; must be a multiple of 64 (one uint64 word each).
+DEFAULT_WIDTH = 512
+
+#: Nonzero entries per projection row (sparse fly-style expansion).
+DEFAULT_NNZ = 4
+
+#: Activations kept per element (winner-take-all sparsification).
+DEFAULT_WTA = 40
+
+_POOLS = ("or", "wta")
+
+
+def _projection(dims: int, width: int, nnz: int, seed: int) -> np.ndarray:
+    """The ``(width, dims)`` sparse signed projection, deterministically.
+
+    Row *i* connects output bit *i* to ``nnz`` distinct input dimensions
+    with signs ±1.  Signed (rather than the fly's binary) connections
+    keep the expansion informative when features are correlated or share
+    a common offset, at identical cost.
+    """
+    rng = spawn(seed, "sketch-projection", dims, width, nnz)
+    proj = np.zeros((width, dims), dtype=np.float64)
+    for row in range(width):
+        cols = rng.choice(dims, size=nnz, replace=False)
+        signs = rng.integers(0, 2, size=nnz) * 2 - 1
+        proj[row, cols] = signs.astype(np.float64)
+    return proj
+
+
+class SetSketcher:
+    """Map ``(m, dims)`` vector sets to fixed-width packed binary sketches.
+
+    Parameters
+    ----------
+    dims:
+        Element dimensionality of the sets to sketch.
+    width:
+        Sketch width in bits (multiple of 64).
+    nnz:
+        Nonzero entries per projection row.
+    wta:
+        Bits set per element before pooling (``pool="or"``) or kept in
+        the pooled activation (``pool="wta"``).
+    seed:
+        Root seed for the projection matrix (see :mod:`repro.seeding`).
+    pool:
+        ``"or"`` — per-element winner-take-all codes OR-ed over the set
+        (default; each element contributes its own signature, so small
+        sets are not drowned out).  ``"wta"`` — element activations are
+        max-pooled first, then thresholded once.
+    projection:
+        Pre-built projection matrix (snapshot restore path); must have
+        shape ``(width, dims)``.  When given, the matrix is trusted as
+        the source of truth and *seed* only labels its provenance.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        *,
+        width: int = DEFAULT_WIDTH,
+        nnz: int | None = None,
+        wta: int = DEFAULT_WTA,
+        seed: int = DEFAULT_SEED,
+        pool: str = "or",
+        projection: np.ndarray | None = None,
+    ):
+        if dims < 1:
+            raise QueryError("sketch dims must be >= 1")
+        if nnz is None:
+            # The default clamps to low-dimensional feature spaces (a
+            # row cannot draw more distinct coordinates than exist).
+            nnz = min(DEFAULT_NNZ, int(dims))
+        if width < 64 or width % 64:
+            raise QueryError(f"sketch width must be a positive multiple of 64: {width}")
+        if not 1 <= nnz <= dims:
+            raise QueryError(f"sketch nnz must be in [1, dims={dims}]: {nnz}")
+        if not 1 <= wta <= width:
+            raise QueryError(f"sketch wta must be in [1, width={width}]: {wta}")
+        if pool not in _POOLS:
+            raise QueryError(f"sketch pool must be one of {_POOLS}: {pool!r}")
+        self.dims = int(dims)
+        self.width = int(width)
+        self.nnz = int(nnz)
+        self.wta = int(wta)
+        self.seed = int(seed)
+        self.pool = pool
+        if projection is None:
+            projection = _projection(self.dims, self.width, self.nnz, self.seed)
+        else:
+            projection = np.ascontiguousarray(projection, dtype=np.float64)
+            if projection.shape != (self.width, self.dims):
+                raise QueryError(
+                    f"projection shape {projection.shape} != ({width}, {dims})"
+                )
+        self.projection = projection
+        self.projection.setflags(write=False)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def words(self) -> int:
+        """Packed sketch length in ``uint64`` words."""
+        return self.width // 64
+
+    def params(self) -> dict:
+        """The content-addressing key (everything but the matrix bytes)."""
+        return {
+            "dims": self.dims,
+            "width": self.width,
+            "nnz": self.nnz,
+            "wta": self.wta,
+            "seed": self.seed,
+            "pool": self.pool,
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over parameters and projection content.
+
+        Snapshots store this next to the matrix; the loader recomputes
+        it to detect a projection that drifted from its declared
+        parameters (e.g. partial corruption the per-array CRC missed
+        because meta and arrays were swapped between files).
+        """
+        h = hashlib.sha256()
+        h.update(json.dumps(self.params(), sort_keys=True).encode())
+        h.update(np.ascontiguousarray(self.projection).tobytes())
+        return h.hexdigest()
+
+    @classmethod
+    def from_snapshot(cls, params: dict, projection: np.ndarray) -> "SetSketcher":
+        """Rebuild from persisted parameters + matrix, verifying the digest."""
+        expected = params.get("digest")
+        kwargs = {k: params[k] for k in ("width", "nnz", "wta", "seed", "pool")}
+        sketcher = cls(int(params["dims"]), projection=projection, **kwargs)
+        if expected is not None and sketcher.digest() != expected:
+            raise QueryError(
+                "sketch projection does not match its content digest; "
+                "snapshot sketch arrays are corrupt or mismatched"
+            )
+        return sketcher
+
+    # -- sketching ---------------------------------------------------------
+
+    def _pack(self, bits: np.ndarray) -> np.ndarray:
+        """Pack a ``(width,)`` 0/1 array into little-endian uint64 words."""
+        packed = np.packbits(bits.astype(np.uint8), bitorder="little")
+        return np.frombuffer(packed.tobytes(), dtype="<u8").astype(np.uint64)
+
+    def sketch(self, vectors: np.ndarray) -> np.ndarray:
+        """Sketch one set: ``(m, dims)`` → ``(words,)`` uint64.
+
+        Deterministic including ties: the top-``wta`` activations are
+        selected by a stable sort, so equal activations resolve to the
+        lower bit index in every process.
+        """
+        arr = np.asarray(
+            getattr(vectors, "vectors", vectors), dtype=np.float64
+        )
+        if arr.ndim != 2 or not len(arr) or arr.shape[1] != self.dims:
+            raise QueryError(f"cannot sketch set of shape {arr.shape}")
+        acts = arr @ self.projection.T  # (m, width)
+        bits = np.zeros(self.width, dtype=bool)
+        if self.pool == "or":
+            top = np.argsort(-acts, axis=1, kind="stable")[:, : self.wta]
+            bits[top.ravel()] = True
+        else:  # "wta": pool activations, threshold once
+            pooled = acts.max(axis=0)
+            top = np.argsort(-pooled, kind="stable")[: self.wta]
+            bits[top] = True
+        return self._pack(bits)
+
+    def sketch_many(self, sets) -> np.ndarray:
+        """Sketch a sequence of sets into an ``(n, words)`` uint64 matrix."""
+        if not len(sets):
+            return np.zeros((0, self.words), dtype=np.uint64)
+        return np.stack([self.sketch(s) for s in sets])

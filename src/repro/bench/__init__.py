@@ -1,0 +1,17 @@
+"""Benchmark output schema and reporting (see :mod:`repro.bench.schema`)."""
+
+from repro.bench.schema import (
+    SCHEMA_ID,
+    load_bench_files,
+    render_report,
+    validate_records,
+    write_bench,
+)
+
+__all__ = [
+    "SCHEMA_ID",
+    "load_bench_files",
+    "render_report",
+    "validate_records",
+    "write_bench",
+]

@@ -552,6 +552,55 @@ class FilterRefineEngine:
         self._record_query("scan", stats, k=n_neighbors)
         return results, stats
 
+    def knn_refine_subset(
+        self,
+        query: np.ndarray | VectorSet,
+        n_neighbors: int,
+        oids: Sequence[int] | np.ndarray,
+    ) -> tuple[list[QueryMatch], QueryStats]:
+        """Exact k-nn restricted to an explicit candidate subset.
+
+        Refines *every* listed object through the batched kernel (no
+        lower-bound pruning — the caller already did its own filtering,
+        e.g. the Hamming shortlist of :mod:`repro.approx`) and returns
+        the *n_neighbors* closest in the canonical ``(distance, oid)``
+        order.  Unknown oids raise :class:`QueryError`; oids must be
+        unique (the result carries one entry per listed object).
+        """
+        if n_neighbors < 1:
+            raise QueryError("n_neighbors must be >= 1")
+        query_arr = self._query_array(query)
+        if query_arr.ndim != 2 or query_arr.shape[1] != self.dimension:
+            raise QueryError(f"query set has incompatible shape {query_arr.shape}")
+        positions = self._positions_for(np.asarray(oids, dtype=np.int64))
+        stats = QueryStats(
+            candidates_ranked=len(positions),
+            exact_computations=len(positions),
+            pruned=len(self._sets) - len(positions),
+        )
+        if not positions:
+            self._record_query("knn_subset", stats, k=n_neighbors)
+            return [], stats
+        with span("query.knn_subset", k=n_neighbors, candidates=len(positions)):
+            prepared = self._prepare_query(query_arr)
+            exacts = np.concatenate(
+                [
+                    np.atleast_1d(
+                        self._refine_many(
+                            prepared,
+                            query_arr,
+                            positions[start : start + DEFAULT_CHUNK_SIZE],
+                        )
+                    )
+                    for start in range(0, len(positions), DEFAULT_CHUNK_SIZE)
+                ]
+            )
+            ext = self._oid_arr[np.asarray(positions, dtype=np.intp)]
+            order = np.lexsort((ext, exacts))[:n_neighbors]
+            results = [QueryMatch(int(ext[idx]), float(exacts[idx])) for idx in order]
+        self._record_query("knn_subset", stats, k=n_neighbors)
+        return results, stats
+
     def knn_query_many(
         self, queries: Sequence[np.ndarray | VectorSet], n_neighbors: int
     ) -> list[tuple[list[QueryMatch], QueryStats]]:

@@ -64,6 +64,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.approx import ApproxFilterRefineEngine, HammingIndex, SetSketcher
 from repro.concurrency import RWLock
 from repro.core.centroid import extended_centroid, norm_weight
 from repro.core.min_matching import min_matching_distance
@@ -138,7 +139,16 @@ class DatabaseView:
         self.version = db._version
         self.size = len(db._sets)
 
-    def knn_query(self, query, n_neighbors: int):
+    def knn_query(
+        self,
+        query,
+        n_neighbors: int,
+        *,
+        mode: str = "exact",
+        shortlist: int | None = None,
+    ):
+        if mode == "approx":
+            return self._db._approx_knn_locked(query, n_neighbors, shortlist)
         return self._db._knn_locked(query, n_neighbors)
 
     def range_query(self, query, epsilon: float):
@@ -208,7 +218,19 @@ class SimilarityDatabase:
         cores are densified lazily from the live tree and invalidated
         by any mutation.  ``False`` forces the pointer hot path (the
         pre-array baseline, kept for benchmarking and differential
-        testing).
+        testing).  The ``"mtree"`` backend is the exception: its live
+        tree always queries through the pointer walk (the core's
+        scalar per-node metric evaluation is *slower* — see
+        BENCH_PR7); mtree cores serve only zero-copy dense loads.
+    sketch / sketch_params:
+        ``sketch=True`` (default) maintains the approximate candidate
+        tier of :mod:`repro.approx` alongside the spatial index: every
+        object gets a packed binary sketch in an incrementally
+        maintained :class:`~repro.approx.hamming.HammingIndex`, and
+        ``knn_query(..., mode="approx", shortlist=m)`` answers from an
+        exact refine over the Hamming shortlist.  *sketch_params*
+        overrides :class:`~repro.approx.sketch.SetSketcher` parameters
+        (``width``/``nnz``/``wta``/``seed``/``pool``).
     """
 
     def __init__(
@@ -230,6 +252,8 @@ class SimilarityDatabase:
         source: str | Path | None = None,
         lock_timeout: float | None = None,
         use_array_core: bool = True,
+        sketch: bool = True,
+        sketch_params: dict | None = None,
     ):
         if capacity < 1:
             raise QueryError("capacity must be >= 1")
@@ -258,6 +282,12 @@ class SimilarityDatabase:
         self._engine_lock = threading.Lock()
         self.lock_timeout = lock_timeout
         self.use_array_core = bool(use_array_core)
+        self.sketch_enabled = bool(sketch)
+        self._sketch_params = dict(sketch_params or {})
+        if not self.sketch_enabled and sketch_params:
+            raise QueryError("sketch_params is only meaningful with sketch=True")
+        self._sketcher: SetSketcher | None = None
+        self._hamming: HammingIndex | None = None
         self._snapshot_dense = False
         # -- durability state ---------------------------------------------
         self.durable = bool(durable)
@@ -327,6 +357,20 @@ class SimilarityDatabase:
                 return "empty"
             return structure_digest(self._index)
 
+    def sketch_digest(self) -> str:
+        """SHA-256 over the sketch tier's ``(oids, codes)`` rows.
+
+        ``"disabled"`` when sketching is off, ``"empty"`` before the
+        first add.  The differential harness compares this against a
+        from-scratch rebuild to prove incremental maintenance exact.
+        """
+        with self._lock.read(timeout=self.lock_timeout):
+            if not self.sketch_enabled:
+                return "disabled"
+            if self._hamming is None:
+                return "empty"
+            return self._hamming.digest()
+
     def close(self) -> None:
         """Flush and close the WAL segment (durable databases only).
 
@@ -356,6 +400,8 @@ class SimilarityDatabase:
             "keep_generations": self.keep_generations,
             "source": self.source,
             "resolution": getattr(self.pipeline, "resolution", None),
+            "sketch": self.sketch_enabled,
+            "sketch_params": self._sketch_params or None,
         }
 
     def _as_set(self, vectors) -> np.ndarray:
@@ -410,6 +456,16 @@ class SimilarityDatabase:
             self._index = self._make_index(self.dimension)
         else:
             self._ensure_mutable_index()
+        self._ensure_sketcher()
+
+    def _ensure_sketcher(self) -> None:
+        """Materialize the sketch tier once the dimension is known."""
+        if not self.sketch_enabled or self.dimension is None:
+            return
+        if self._sketcher is None:
+            self._sketcher = SetSketcher(self.dimension, **self._sketch_params)
+        if self._hamming is None:
+            self._hamming = HammingIndex(self._sketcher.words)
 
     def _ensure_mutable_index(self) -> None:
         """Inflate a zero-copy loaded array core into the pointer tree.
@@ -438,9 +494,15 @@ class SimilarityDatabase:
             return index
         if hasattr(index, "serialized"):  # already an array core
             return index
-        # mtree cores deliberately keep the scalar metric (no batch_params):
-        # the batch kernel's floats can differ from the scalar metric by
-        # ulps, and pointer==core equality must be literal.
+        if self.backend == "mtree":
+            # The mtree core deliberately keeps the scalar metric (no
+            # batch_params — the batch kernel's floats can differ from
+            # the scalar metric by ulps, and pointer==core equality must
+            # be literal), which makes its chunked ranking *slower* than
+            # the pointer walk (BENCH_PR7: 0.93x).  Serve the live tree
+            # directly; cores answer only for zero-copy dense loads,
+            # where no pointer tree exists to fall back to.
+            return index
         return index.dense_core()
 
     def _index_insert(self, oid: int, arr: np.ndarray, centroid: np.ndarray) -> None:
@@ -493,6 +555,8 @@ class SimilarityDatabase:
                 self._index_insert(oid, arr, centroid)
             self._sets[oid] = arr
             self._centroids[oid] = centroid
+            if self._hamming is not None:
+                self._hamming.add(oid, self._sketcher.sketch(arr))
             self._bump("add")
 
     def add_grid(self, oid: int, grid) -> np.ndarray:
@@ -524,6 +588,8 @@ class SimilarityDatabase:
                 self._index_delete(oid, arr, centroid)
             del self._sets[oid]
             del self._centroids[oid]
+            if self._hamming is not None:
+                self._hamming.remove(oid)
             self._bump("remove")
             return True
 
@@ -542,6 +608,8 @@ class SimilarityDatabase:
                 self._index_insert(oid, arr, centroid)
             self._sets[oid] = arr
             self._centroids[oid] = centroid
+            if self._hamming is not None:
+                self._hamming.update(oid, self._sketcher.sketch(arr))
             self._bump("update")
 
     def compact(self) -> None:
@@ -570,6 +638,14 @@ class SimilarityDatabase:
                 else:
                     index.insert(self._centroids[oid], oid)
             self._index = index
+            if self._sketcher is not None:
+                # Rebuild the sketch tier the same way — the result must
+                # be byte-identical to the incrementally maintained one
+                # (the differential harness compares digests).
+                hamming = HammingIndex(self._sketcher.words)
+                for oid in sorted(self._sets):
+                    hamming.add(oid, self._sketcher.sketch(self._sets[oid]))
+                self._hamming = hamming
 
     def _bump(self, op: str) -> None:
         self._version += 1
@@ -644,10 +720,44 @@ class SimilarityDatabase:
             query, epsilon, centroid_ranker=self._ranker()
         )
 
-    def knn_query(self, query, n_neighbors: int):
+    def _approx_knn_locked(self, query, n_neighbors: int, shortlist: int | None):
+        if not self._sets:
+            return self._empty_result()
+        if self._hamming is None:
+            raise QueryError(
+                "approx queries need the sketch tier; this database was "
+                "built with sketch=False"
+            )
+        engine = ApproxFilterRefineEngine(
+            self._ensure_engine(), self._sketcher, self._hamming
+        )
+        return engine.knn_query(self._as_set(query), n_neighbors, shortlist=shortlist)
+
+    def knn_query(
+        self,
+        query,
+        n_neighbors: int,
+        *,
+        mode: str = "exact",
+        shortlist: int | None = None,
+    ):
         """The *n_neighbors* nearest objects by minimal matching
-        distance: ``(list[QueryMatch], QueryStats)``."""
+        distance: ``(list[QueryMatch], QueryStats)``.
+
+        ``mode="exact"`` (default) is the paper's filter-refine pipeline.
+        ``mode="approx"`` Hamming-ranks the sketch tier and refines only
+        the *shortlist* best candidates with the exact distance — the
+        returned distances are still exact, but objects outside the
+        shortlist are never considered, so recall is traded for
+        throughput (with ``shortlist >= len(db)`` results equal exact).
+        """
+        if mode not in ("exact", "approx"):
+            raise QueryError(f"unknown query mode {mode!r}")
+        if mode == "exact" and shortlist is not None:
+            raise QueryError("shortlist is only meaningful with mode='approx'")
         with self._lock.read(timeout=self.lock_timeout):
+            if mode == "approx":
+                return self._approx_knn_locked(query, n_neighbors, shortlist)
             return self._knn_locked(query, n_neighbors)
 
     def range_query(self, query, epsilon: float):
@@ -696,6 +806,21 @@ class SimilarityDatabase:
             arrays.update(
                 {f"index__{name}": arr for name, arr in index_arrays.items()}
             )
+        sketch_meta = None
+        if self.sketch_enabled and self._sketcher is not None:
+            # The projection matrix travels with the data, content-
+            # addressed by its digest, so sketches stay bit-reproducible
+            # in every process that loads this snapshot.
+            sketch_meta = {
+                **self._sketcher.params(),
+                "digest": self._sketcher.digest(),
+            }
+            hamming = self._hamming.serialized()
+            arrays["sketch__proj"] = np.ascontiguousarray(
+                self._sketcher.projection, dtype=np.float64
+            )
+            arrays["sketch__oids"] = hamming["oids"]
+            arrays["sketch__codes"] = hamming["codes"]
         meta = {
             "format": DB_FORMAT,
             "version": DB_VERSION,
@@ -709,6 +834,8 @@ class SimilarityDatabase:
             "db_version": self._version,
             "resolution": getattr(self.pipeline, "resolution", None),
             "index_meta": index_meta,
+            "sketch_enabled": self.sketch_enabled,
+            "sketch_meta": sketch_meta,
         }
         return meta, arrays
 
@@ -885,6 +1012,7 @@ class SimilarityDatabase:
             model=model,
             pipeline=pipeline,
             cache=cache,
+            sketch=bool(meta.get("sketch_enabled", True)),
         )
         try:
             oids = [int(oid) for oid in arrays["set_oids"]]
@@ -928,9 +1056,44 @@ class SimilarityDatabase:
                     index_arrays,
                     metric=db._metric() if meta["backend"] == "mtree" else None,
                 )
+        db._restore_sketches(meta, arrays, zero_copy=zero_copy)
         db._version = meta["db_version"]
         db._snapshot_dense = bool(zero_copy)
         return db
+
+    def _restore_sketches(self, meta: dict, arrays: dict, *, zero_copy: bool) -> None:
+        """Rehydrate the sketch tier from snapshot arrays.
+
+        Snapshots written before the approx tier existed carry no
+        ``sketch__*`` arrays; sketching is then rebuilt from the stored
+        sets (same seed → same bits, so the rebuilt tier is identical to
+        what the writing process *would* have persisted).  Zero-copy
+        loads keep the code matrix as a read-only view: every Hamming
+        mutation path reallocates, so mmapped buffers are never written.
+        """
+        if not self.sketch_enabled:
+            return
+        sketch_meta = meta.get("sketch_meta")
+        if sketch_meta is not None and "sketch__codes" in arrays:
+            self._sketcher = SetSketcher.from_snapshot(
+                sketch_meta, np.ascontiguousarray(arrays["sketch__proj"])
+            )
+            self._hamming = HammingIndex.from_arrays(
+                np.asarray(arrays["sketch__oids"], dtype=np.int64),
+                arrays["sketch__codes"].view(np.ndarray),
+                copy=not zero_copy,
+            )
+            stored = set(self._hamming.oids.tolist())
+            if stored != set(self._sets):
+                raise StorageError(
+                    "snapshot sketch tier does not cover the stored objects"
+                )
+            return
+        if self.dimension is None:
+            return
+        self._ensure_sketcher()
+        for oid in sorted(self._sets):
+            self._hamming.add(oid, self._sketcher.sketch(self._sets[oid]))
 
     # -- durable recovery --------------------------------------------------
 
@@ -955,6 +1118,8 @@ class SimilarityDatabase:
             pipeline=pipeline,
             cache=cache,
             lock_timeout=lock_timeout,
+            sketch=bool(config.get("sketch", True)),
+            sketch_params=config.get("sketch_params"),
         )
 
     def _apply_replay(self, record: dict) -> None:

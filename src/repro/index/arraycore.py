@@ -630,8 +630,6 @@ class MTreeArrayCore(_ArrayCore):
         self._obj_data = np.ascontiguousarray(arrays["obj_data"], dtype=np.float64)
         self._batch_params = batch_params
         self._packed = None
-        self._padded_query = None
-        self._padded_for = None
 
     def _entry_obj(self, e: int):
         rows = self._obj_data[self._row_offsets[e] : self._row_offsets[e + 1]]
@@ -661,16 +659,25 @@ class MTreeArrayCore(_ArrayCore):
         )
         return True
 
-    def _distances(self, query, query_key: int, idx: np.ndarray) -> np.ndarray:
-        self.distance_computations += len(idx)
+    def _prepare_query(self, query):
+        """Pad *query* for the batch kernel, once per search call.
+
+        Returns ``None`` on the scalar-metric path.  Padding must be
+        per-call, not cached on the core: a stale pad reused across
+        calls silently answers every later query with the first one's
+        distances.
+        """
         if self._ensure_packed():
-            if self._padded_for != query_key:
-                self._padded_query = self._packed.pad_query(query)
-                self._padded_for = query_key
+            return self._packed.pad_query(query)
+        return None
+
+    def _distances(self, query, padded, idx: np.ndarray) -> np.ndarray:
+        self.distance_computations += len(idx)
+        if padded is not None:
             from repro.core.batch import match_many
 
             return match_many(
-                self._padded_query,
+                padded,
                 self._packed,
                 indices=idx,
                 backend=self._batch_params.get("solver", "lockstep"),
@@ -706,7 +713,7 @@ class MTreeArrayCore(_ArrayCore):
                 return (np.inf, 2**63)
             return (-best[0][0], -best[0][1])
 
-        query_key = next(tick)
+        padded = self._prepare_query(query)
         while queue:
             bound, _, nid, parent_dist = heapq.heappop(queue)
             kth = kth_key()[0]
@@ -726,7 +733,7 @@ class MTreeArrayCore(_ArrayCore):
                 idx = idx[keep]
             if not idx.size:
                 continue
-            dists = self._distances(query, query_key, idx)
+            dists = self._distances(query, padded, idx)
             if self._is_leaf[nid]:
                 for e, dist in zip(idx.tolist(), dists.tolist()):
                     oid = int(self._oid[e])
@@ -764,7 +771,7 @@ class MTreeArrayCore(_ArrayCore):
         slack = 1.0 + self.PRUNE_SLACK
         nodes_batched = counter("index.nodes_batched")
         frontier_size = histogram("index.frontier_size")
-        query_key = -1
+        padded = self._prepare_query(query)
         results: list[tuple[int, float]] = []
         stack: list[tuple[int, float | None]] = [(0, None)]
         while stack:
@@ -783,7 +790,7 @@ class MTreeArrayCore(_ArrayCore):
                 idx = idx[keep]
             if not idx.size:
                 continue
-            dists = self._distances(query, query_key, idx)
+            dists = self._distances(query, padded, idx)
             if self._is_leaf[nid]:
                 hit = dists <= radius
                 results.extend(

@@ -1,0 +1,489 @@
+"""The approximate candidate tier: sketches, Hamming index, engine.
+
+Three layers of assurance:
+
+* property tests (hypothesis) for the algebra the tier relies on —
+  sketches are permutation invariant over set elements, Hamming
+  distance is a metric on packed codes, and a full-database shortlist
+  contains the exact top-k by construction;
+* a stateful differential machine interleaving add/remove/update/
+  compact on :class:`SimilarityDatabase` and proving after every step
+  that the incrementally-maintained sketch tier is *byte-identical* to
+  a from-scratch rebuild, and that approx queries with a full budget
+  reproduce the exact tier literally;
+* snapshot round-trips (``.npz`` and dense mmap) carrying the
+  projection matrix content-addressed by digest, plus corruption
+  detection through ``repro db verify``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.approx import (
+    ApproxFilterRefineEngine,
+    HammingIndex,
+    SetSketcher,
+    default_shortlist,
+)
+from repro.core.queries import FilterRefineEngine
+from repro.db import SimilarityDatabase
+from repro.exceptions import QueryError, ReproError
+from repro.seeding import resolve_seed, spawn
+
+DIM = 5
+SEED = 1234
+
+
+def small_sets(min_sets=1, max_sets=8, max_rows=6):
+    return st.lists(
+        st.integers(min_value=1, max_value=max_rows),
+        min_size=min_sets,
+        max_size=max_sets,
+    )
+
+
+def materialize(row_counts, rng):
+    return [rng.standard_normal((rows, DIM)) * 10.0 for rows in row_counts]
+
+
+# -- SetSketcher ------------------------------------------------------------
+
+
+class TestSetSketcher:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            SetSketcher(DIM, width=100)  # not a multiple of 64
+        with pytest.raises(QueryError):
+            SetSketcher(DIM, nnz=0)
+        with pytest.raises(QueryError):
+            SetSketcher(DIM, nnz=DIM + 1)
+        with pytest.raises(QueryError):
+            SetSketcher(DIM, width=128, wta=129)
+        with pytest.raises(QueryError):
+            SetSketcher(DIM, pool="max")
+
+    def test_same_seed_same_sketch(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((4, DIM))
+        a = SetSketcher(DIM, seed=SEED)
+        b = SetSketcher(DIM, seed=SEED)
+        assert a.digest() == b.digest()
+        assert np.array_equal(a.sketch(vectors), b.sketch(vectors))
+
+    def test_different_seed_different_projection(self):
+        a = SetSketcher(DIM, seed=SEED)
+        b = SetSketcher(DIM, seed=SEED + 1)
+        assert a.digest() != b.digest()
+
+    @pytest.mark.parametrize("pool", ["or", "wta"])
+    @given(perm_seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_invariance(self, pool, perm_seed):
+        """Element order inside a set must never change the sketch."""
+        rng = np.random.default_rng(perm_seed)
+        vectors = rng.standard_normal((6, DIM)) * 5.0
+        sketcher = SetSketcher(DIM, width=128, wta=12, seed=SEED, pool=pool)
+        base = sketcher.sketch(vectors)
+        shuffled = vectors[rng.permutation(len(vectors))]
+        assert np.array_equal(base, sketcher.sketch(shuffled))
+
+    def test_sketch_shape_and_dtype(self):
+        sketcher = SetSketcher(DIM, width=192, wta=10, seed=SEED)
+        code = sketcher.sketch(np.ones((3, DIM)))
+        assert code.dtype == np.uint64
+        assert code.shape == (sketcher.words,) == (3,)
+
+    def test_snapshot_digest_mismatch_rejected(self):
+        sketcher = SetSketcher(DIM, seed=SEED)
+        params = {**sketcher.params(), "digest": sketcher.digest()}
+        tampered = sketcher.projection.copy()
+        tampered[0, 0] += 1.0
+        with pytest.raises(QueryError):
+            SetSketcher.from_snapshot(params, tampered)
+
+
+# -- HammingIndex -----------------------------------------------------------
+
+codes64 = st.lists(
+    st.integers(min_value=0, max_value=2**64 - 1), min_size=2, max_size=2
+).map(lambda ws: np.array(ws, dtype=np.uint64))
+
+
+class TestHammingIndex:
+    @given(a=codes64, b=codes64, c=codes64)
+    @settings(max_examples=50, deadline=None)
+    def test_metric_axioms(self, a, b, c):
+        """Hamming distance on packed words: identity, symmetry, triangle."""
+        index = HammingIndex(2)
+        index.add(0, a)
+        index.add(1, b)
+        index.add(2, c)
+        d = index.distances(np.stack([a, b, c]))
+        assert d[0, 0] == 0 and d[1, 1] == 0 and d[2, 2] == 0
+        assert d[0, 1] == d[1, 0] and d[0, 2] == d[2, 0]
+        assert d[0, 2] <= d[0, 1] + d[1, 2]
+
+    def test_duplicate_add_rejected(self):
+        index = HammingIndex(1)
+        index.add(7, np.zeros(1, dtype=np.uint64))
+        with pytest.raises(QueryError):
+            index.add(7, np.ones(1, dtype=np.uint64))
+
+    def test_shortlist_full_budget_is_everything(self):
+        rng = np.random.default_rng(3)
+        index = HammingIndex(2)
+        oids = [5, 1, 9, 3, 14]
+        for oid in oids:
+            index.add(oid, rng.integers(0, 2**63, 2).astype(np.uint64))
+        query = rng.integers(0, 2**63, 2).astype(np.uint64)
+        got = index.shortlist(query[None, :], len(oids) + 10)[0]
+        assert sorted(got.tolist()) == sorted(oids)
+
+    def test_shortlist_prefix_nesting(self):
+        """A smaller budget must be a prefix of a larger one (same
+        ranking, so the exact top-k survives any budget >= its rank)."""
+        rng = np.random.default_rng(4)
+        index = HammingIndex(2)
+        for oid in range(30):
+            index.add(oid, rng.integers(0, 2**63, 2).astype(np.uint64))
+        query = rng.integers(0, 2**63, 2).astype(np.uint64)
+        big = index.shortlist(query[None, :], 20)[0]
+        small = index.shortlist(query[None, :], 5)[0]
+        assert small.tolist() == big[:5].tolist()
+
+    def test_remove_and_update(self):
+        rng = np.random.default_rng(5)
+        index = HammingIndex(1)
+        for oid in range(5):
+            index.add(oid, rng.integers(0, 2**63, 1).astype(np.uint64))
+        before = index.digest()
+        index.remove(2)
+        assert 2 not in index.oids.tolist()
+        index.add(2, rng.integers(0, 2**63, 1).astype(np.uint64))
+        code = np.array([12345], dtype=np.uint64)
+        index.update(2, code)
+        row = index.oids.tolist().index(2)
+        assert index.codes[row, 0] == 12345
+        assert index.digest() != before
+
+
+# -- ApproxFilterRefineEngine ----------------------------------------------
+
+
+def build_tier(sets, seed=SEED):
+    dim = sets[0].shape[1]
+    # Capacity covers the stored sets AND the (<= 4-row) test queries.
+    engine = FilterRefineEngine(sets, capacity=max(4, *(len(s) for s in sets)))
+    sketcher = SetSketcher(dim, width=128, wta=12, seed=seed)
+    hamming = HammingIndex(sketcher.words)
+    for oid, vectors in enumerate(sets):
+        hamming.add(oid, sketcher.sketch(vectors))
+    return ApproxFilterRefineEngine(engine, sketcher, hamming)
+
+
+class TestApproxEngine:
+    def test_default_shortlist_oversamples(self):
+        assert default_shortlist(1) == 64
+        assert default_shortlist(10) == 80
+
+    def test_word_mismatch_rejected(self):
+        sets = [np.ones((2, DIM))]
+        engine = FilterRefineEngine(sets, capacity=2)
+        sketcher = SetSketcher(DIM, width=128, seed=SEED)
+        with pytest.raises(QueryError):
+            ApproxFilterRefineEngine(engine, sketcher, HammingIndex(1))
+
+    @given(row_counts=small_sets(min_sets=3), budget=st.integers(1, 40))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_never_crashes_and_oids_exist(self, row_counts, budget):
+        """Any budget: valid oids, no duplicates, canonical order."""
+        rng = np.random.default_rng(11)
+        sets = materialize(row_counts, rng)
+        tier = build_tier(sets)
+        query = rng.standard_normal((2, DIM))
+        results, stats = tier.knn_query(query, 3, shortlist=budget)
+        oids = [m.object_id for m in results]
+        assert len(oids) == len(set(oids))
+        assert set(oids) <= set(range(len(sets)))
+        keys = [(m.distance, m.object_id) for m in results]
+        assert keys == sorted(keys)
+        assert stats.exact_computations <= max(budget, 3, len(sets))
+
+    @given(row_counts=small_sets(min_sets=4))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_full_budget_equals_exact(self, row_counts):
+        """shortlist >= n refines everything: literally the exact result."""
+        rng = np.random.default_rng(12)
+        sets = materialize(row_counts, rng)
+        tier = build_tier(sets)
+        query = rng.standard_normal((3, DIM))
+        approx, _ = tier.knn_query(query, 3, shortlist=len(sets))
+        exact, _ = tier.engine.knn_query(query, 3)
+        assert approx == exact
+
+    def test_oracle_overlap_bounds(self):
+        rng = np.random.default_rng(13)
+        sets = materialize([3] * 12, rng)
+        tier = build_tier(sets)
+        query = rng.standard_normal((3, DIM))
+        approx, exact, overlap = tier.knn_query_with_oracle(
+            query, 4, shortlist=len(sets)
+        )
+        assert overlap == 1.0
+        assert approx == exact
+
+
+# -- database integration: incremental == fresh ----------------------------
+
+
+def fresh_sketch_digest(db: SimilarityDatabase) -> str:
+    """What the sketch tier would be if rebuilt from scratch right now."""
+    if db.dimension is None:
+        return "empty"
+    sketcher = SetSketcher(db.dimension, **db._sketch_params)
+    hamming = HammingIndex(sketcher.words)
+    for oid in sorted(db.object_ids()):
+        hamming.add(oid, sketcher.sketch(db.get(oid)))
+    return hamming.digest()
+
+
+class ApproxDifferentialMachine(RuleBasedStateMachine):
+    """Incremental sketch maintenance must equal a from-scratch build."""
+
+    def __init__(self):
+        super().__init__()
+        self.db = SimilarityDatabase(
+            6, backend="scan", sketch_params={"width": 128, "wta": 12}
+        )
+        self.rng = np.random.default_rng(99)
+        self.next_oid = 0
+
+    @rule(rows=st.integers(min_value=1, max_value=6))
+    def add(self, rows):
+        self.db.add(self.next_oid, self.rng.standard_normal((rows, DIM)))
+        self.next_oid += 1
+
+    @precondition(lambda self: len(self.db) > 0)
+    @rule(data=st.data())
+    def remove(self, data):
+        oid = data.draw(st.sampled_from(self.db.object_ids()))
+        assert self.db.remove(oid)
+
+    @precondition(lambda self: len(self.db) > 0)
+    @rule(data=st.data(), rows=st.integers(min_value=1, max_value=6))
+    def update(self, data, rows):
+        oid = data.draw(st.sampled_from(self.db.object_ids()))
+        self.db.update(oid, self.rng.standard_normal((rows, DIM)))
+
+    @rule()
+    def compact(self):
+        self.db.compact()
+
+    @invariant()
+    def incremental_matches_fresh(self):
+        assert self.db.sketch_digest() == fresh_sketch_digest(self.db)
+
+    @invariant()
+    def full_budget_matches_exact(self):
+        if not len(self.db):
+            return
+        query = self.rng.standard_normal((2, DIM))
+        exact = self.db.knn_query(query, 3)[0]
+        approx = self.db.knn_query(
+            query, 3, mode="approx", shortlist=len(self.db)
+        )[0]
+        assert approx == exact
+
+
+ApproxDifferentialMachine.TestCase.settings = settings(
+    max_examples=15,
+    stateful_step_count=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+TestApproxDifferential = ApproxDifferentialMachine.TestCase
+
+
+class TestDatabaseApproxMode:
+    def make_db(self, n=20):
+        rng = np.random.default_rng(21)
+        db = SimilarityDatabase(6, backend="xtree")
+        for oid in range(n):
+            db.add(oid, rng.standard_normal((int(rng.integers(1, 5)), DIM)))
+        return db, rng
+
+    def test_mode_validation(self):
+        db, rng = self.make_db(4)
+        query = rng.standard_normal((2, DIM))
+        with pytest.raises(QueryError):
+            db.knn_query(query, 2, mode="fuzzy")
+        with pytest.raises(QueryError):
+            db.knn_query(query, 2, shortlist=5)  # exact mode
+
+    def test_sketch_disabled_paths(self):
+        db = SimilarityDatabase(6, backend="scan", sketch=False)
+        db.add(0, np.ones((2, DIM)))
+        assert db.sketch_digest() == "disabled"
+        with pytest.raises(QueryError):
+            db.knn_query(np.ones((1, DIM)), 1, mode="approx")
+        with pytest.raises(QueryError):
+            SimilarityDatabase(6, sketch=False, sketch_params={"width": 128})
+
+    def test_every_budget_returns_valid_results(self):
+        db, rng = self.make_db(15)
+        query = rng.standard_normal((2, DIM))
+        exact = db.knn_query(query, 5)[0]
+        for budget in (1, 2, 5, 14, 15, 100):
+            approx = db.knn_query(
+                query, 5, mode="approx", shortlist=budget
+            )[0]
+            oids = [m.object_id for m in approx]
+            assert set(oids) <= set(db.object_ids())
+            assert len(oids) == len(set(oids))
+            if budget >= len(db):
+                assert approx == exact
+
+    def test_read_view_approx(self):
+        db, rng = self.make_db(10)
+        query = rng.standard_normal((2, DIM))
+        with db.read_view() as view:
+            approx = view.knn_query(
+                query, 3, mode="approx", shortlist=len(db)
+            )[0]
+        assert approx == db.knn_query(query, 3)[0]
+
+
+# -- snapshot round-trips ---------------------------------------------------
+
+
+class TestSketchSnapshots:
+    def make_db(self, n=12):
+        rng = np.random.default_rng(31)
+        db = SimilarityDatabase(6, backend="xtree")
+        for oid in range(n):
+            db.add(oid, rng.standard_normal((int(rng.integers(1, 5)), DIM)))
+        return db, rng
+
+    @pytest.mark.parametrize("dense", [False, True])
+    def test_roundtrip_preserves_sketch_tier(self, tmp_path, dense):
+        db, rng = self.make_db()
+        path = tmp_path / ("db.dns" if dense else "db.npz")
+        db.save(path, dense=dense)
+        loaded = SimilarityDatabase.load(path)
+        assert loaded.sketch_digest() == db.sketch_digest()
+        assert np.array_equal(
+            loaded._sketcher.projection, db._sketcher.projection
+        )
+        query = rng.standard_normal((2, DIM))
+        assert (
+            loaded.knn_query(query, 3, mode="approx", shortlist=len(db))[0]
+            == db.knn_query(query, 3)[0]
+        )
+
+    @pytest.mark.parametrize("dense", [False, True])
+    def test_loaded_db_still_mutable(self, tmp_path, dense):
+        """Mutations after a (possibly zero-copy) load keep the tier in
+        sync — the mmapped code matrix is reallocated, never written."""
+        db, rng = self.make_db()
+        path = tmp_path / ("db.dns" if dense else "db.npz")
+        db.save(path, dense=dense)
+        loaded = SimilarityDatabase.load(path)
+        loaded.add(100, rng.standard_normal((3, DIM)))
+        loaded.remove(0)
+        loaded.update(1, rng.standard_normal((2, DIM)))
+        assert loaded.sketch_digest() == fresh_sketch_digest(loaded)
+
+    def test_sketch_disabled_roundtrip(self, tmp_path):
+        db = SimilarityDatabase(6, backend="scan", sketch=False)
+        db.add(0, np.ones((2, DIM)))
+        path = tmp_path / "nosketch.npz"
+        db.save(path)
+        loaded = SimilarityDatabase.load(path)
+        assert loaded.sketch_digest() == "disabled"
+
+    def test_corrupted_snapshot_fails_verify(self, tmp_path):
+        from repro.cli import main
+
+        db, _ = self.make_db()
+        path = tmp_path / "db.npz"
+        db.save(path)
+        assert main(["db", "verify", str(path)]) == 0
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert main(["db", "verify", str(path)]) == 1
+
+
+# -- seed determinism across processes -------------------------------------
+
+_SKETCH_SNIPPET = """
+import sys
+import numpy as np
+from repro.approx import SetSketcher
+from repro.seeding import resolve_seed, spawn
+
+seed = resolve_seed(None)
+rng = spawn(seed, "determinism-probe")
+vectors = rng.standard_normal((5, 4)) * 7.0
+sketcher = SetSketcher(4, width=128, wta=9, seed=seed)
+sys.stdout.write(sketcher.digest() + ":" + sketcher.sketch(vectors).tobytes().hex())
+"""
+
+
+def _run_probe(env_seed=None):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    if env_seed is None:
+        env.pop("REPRO_SEED", None)
+    else:
+        env["REPRO_SEED"] = str(env_seed)
+    out = subprocess.run(
+        [sys.executable, "-c", _SKETCH_SNIPPET],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout
+
+
+class TestSeedDeterminism:
+    def test_two_processes_byte_identical(self):
+        assert _run_probe() == _run_probe()
+
+    def test_env_seed_changes_and_reproduces(self):
+        base = _run_probe()
+        seeded = _run_probe(env_seed=777)
+        assert seeded != base
+        assert seeded == _run_probe(env_seed=777)
+
+    def test_resolve_seed_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "42")
+        assert resolve_seed(None) == 42
+        assert resolve_seed(7) == 7  # explicit beats env
+        monkeypatch.setenv("REPRO_SEED", "not-an-int")
+        with pytest.raises(ReproError):
+            resolve_seed(None)

@@ -256,7 +256,10 @@ class TestBench:
         code = main(["bench", "--quick", "--out", str(out)])
         assert code == 0
         assert "speedup" in capsys.readouterr().out
-        records = json.loads(out.read_text())
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["suite"] == "kernels"
+        records = payload["records"]
         ops = {record["op"] for record in records}
         assert ops == {
             "pairwise_matrix",
@@ -292,7 +295,9 @@ class TestBench:
             ["bench", "--quick", "--out", str(out), "--label", "unit-test"]
         )
         assert code == 0
-        records = json.loads(out.read_text())
+        payload = json.loads(out.read_text())
+        records = payload["records"]
+        assert payload["label"] == "unit-test"
         assert records and all(r["label"] == "unit-test" for r in records)
 
 
