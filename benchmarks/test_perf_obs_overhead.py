@@ -1,0 +1,108 @@
+"""Disabled-mode telemetry overhead: the "<2%" acceptance number.
+
+The observability layer promises that *disabled means free*: with
+``repro.obs`` disabled, the query path pays only a handful of cheap
+``enabled`` checks for all its instrumentation (spans, wide query
+events, counters).  This bench measures that price directly with an
+interleaved A/B comparison — A is the real (disabled-telemetry) query
+path, B the same path with the instrumentation entry points
+monkeypatched to raw no-ops, i.e. the code as if it had never been
+instrumented.  Interleaving the two arms round by round and taking the
+best-of per arm cancels thermal/scheduler drift, which at the 2% scale
+would otherwise dominate the signal.
+"""
+
+import time
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import queries as queries_mod
+from repro.core.queries import FilterRefineEngine
+from repro.obs import querylog
+from repro.obs.spans import NULL_SPAN
+
+N_SETS = 300
+K = 6
+DIM = 6
+QUERIES = 8
+ROUNDS = 7
+MAX_OVERHEAD = 0.02
+
+
+@contextmanager
+def _null_span(name, /, force=False, **attrs):
+    yield NULL_SPAN
+
+
+def _noop_record(*args, **kwargs):
+    return None
+
+
+@contextmanager
+def stripped_instrumentation():
+    """The engine as if PR 6/9 telemetry had never been written."""
+    original_span = queries_mod.span
+    original_record = querylog.record_query
+    queries_mod.span = _null_span
+    querylog.record_query = _noop_record
+    try:
+        yield
+    finally:
+        queries_mod.span = original_span
+        querylog.record_query = original_record
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(2026)
+    sets = [
+        rng.standard_normal((int(rng.integers(1, K + 1)), DIM))
+        for _ in range(N_SETS)
+    ]
+    engine = FilterRefineEngine(sets, capacity=K)
+    engine.knn_query(sets[0], 5)  # warm every lazy path once
+    return engine, sets
+
+
+def _run_queries(engine, sets):
+    for query in sets[:QUERIES]:
+        engine.knn_query(query, 5)
+
+
+def test_disabled_telemetry_overhead_below_two_percent(workload):
+    engine, sets = workload
+    assert obs.enabled() is False
+
+    instrumented_best = float("inf")
+    stripped_best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        _run_queries(engine, sets)
+        instrumented_best = min(instrumented_best, time.perf_counter() - start)
+
+        with stripped_instrumentation():
+            start = time.perf_counter()
+            _run_queries(engine, sets)
+        stripped_best = min(stripped_best, time.perf_counter() - start)
+
+    overhead = instrumented_best / stripped_best - 1.0
+    print(
+        f"\ndisabled-mode telemetry: instrumented {instrumented_best * 1e3:.2f} ms"
+        f" vs stripped {stripped_best * 1e3:.2f} ms per {QUERIES} queries"
+        f" ({overhead * 100:.2f}% overhead)"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled-mode telemetry costs {overhead * 100:.2f}% "
+        f"(budget {MAX_OVERHEAD * 100:.0f}%)"
+    )
+
+
+def test_disabled_query_leaves_no_telemetry(workload):
+    engine, sets = workload
+    assert obs.enabled() is False
+    engine.knn_query(sets[0], 5)
+    snap = obs.registry().snapshot()
+    assert snap["counters"] == {} and snap["events"] == []

@@ -28,6 +28,7 @@ from repro.approx.sketch import SetSketcher
 from repro.core.queries import FilterRefineEngine, QueryMatch, QueryStats
 from repro.exceptions import QueryError
 from repro.obs import emit, registry, span
+from repro.obs import querylog
 
 __all__ = ["ApproxFilterRefineEngine", "default_shortlist"]
 
@@ -78,11 +79,23 @@ class ApproxFilterRefineEngine:
         budget = max(budget, n_neighbors)
         n = len(self.hamming)
         with span("query.approx_knn", k=n_neighbors, budget=budget):
-            code = self.sketcher.sketch(query)
-            candidates = self.hamming.shortlist(code[None, :], budget)[0]
-            results, stats = self.engine.knn_refine_subset(
-                query, n_neighbors, candidates
-            )
+            # The sketch + Hamming shortlist is this tier's filter
+            # phase; its measured time rides into the wide query record
+            # as the filter_seconds context field (the inner subset
+            # refine only measures refinement).
+            with span("query.shortlist", force=True, budget=budget) as ssp:
+                code = self.sketcher.sketch(query)
+                candidates = self.hamming.shortlist(code[None, :], budget)[0]
+            with querylog.query_context(
+                mode="approx",
+                kind="approx_knn",
+                budget=budget,
+                shortlist_size=len(candidates),
+                filter_seconds=ssp.seconds,
+            ):
+                results, stats = self.engine.knn_refine_subset(
+                    query, n_neighbors, candidates
+                )
         reg = registry()
         if reg.enabled:
             reg.counter("approx.queries").inc()

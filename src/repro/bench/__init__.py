@@ -1,5 +1,12 @@
-"""Benchmark output schema and reporting (see :mod:`repro.bench.schema`)."""
+"""Benchmark output schema, reporting and regression comparison
+(see :mod:`repro.bench.schema` and :mod:`repro.bench.compare`)."""
 
+from repro.bench.compare import (
+    BenchComparison,
+    FieldDelta,
+    compare_bench,
+    render_comparison,
+)
 from repro.bench.schema import (
     SCHEMA_ID,
     load_bench_files,
@@ -9,8 +16,12 @@ from repro.bench.schema import (
 )
 
 __all__ = [
+    "BenchComparison",
+    "FieldDelta",
     "SCHEMA_ID",
+    "compare_bench",
     "load_bench_files",
+    "render_comparison",
     "render_report",
     "validate_records",
     "write_bench",

@@ -1,0 +1,229 @@
+"""Regression sentinel: compare two ``repro-bench/1`` files.
+
+``repro bench compare BASE.json HEAD.json`` joins the two files'
+records on a key (by default ``op``/``backend``/``n``/``k``/``dim``/
+``budget`` — every identity-ish field that appears in a record) and
+computes per-field deltas for the comparable metrics:
+
+* ``*_seconds`` timings are **lower-better**: head regresses when it is
+  more than ``threshold`` slower than base.  Timings below the
+  ``min_seconds`` noise floor on both sides are skipped — a 0.4 ms
+  measurement regressing by 30% is measurement jitter, not a signal.
+* ``speedup``/``recall``/``reduction`` ratios are **higher-better**:
+  head regresses when it loses more than ``threshold`` of base's value.
+
+The result says, per compared pair, whether head improved, held, or
+regressed; :func:`render_comparison` prints the table and the CLI exits
+1 on any regression — the CI gate against the committed BENCH_PR7/PR8
+baselines runs exactly this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.bench.schema import load_bench_files
+from repro.exceptions import ReproError
+
+__all__ = [
+    "BenchComparison",
+    "FieldDelta",
+    "compare_bench",
+    "render_comparison",
+]
+
+#: Record fields that identify *what* was measured (used for the join
+#: key when present); everything else is a measurement or annotation.
+DEFAULT_MATCH_FIELDS = ("op", "backend", "n", "k", "dim", "budget")
+
+#: Higher-better ratio fields ("the bigger the healthier").
+HIGHER_BETTER = ("speedup", "recall", "reduction")
+
+#: Timings below this (seconds) on both sides are noise, not signal.
+DEFAULT_MIN_SECONDS = 0.005
+
+#: Allowed relative degradation before a delta counts as a regression.
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass
+class FieldDelta:
+    """One compared metric of one record pair."""
+
+    key: tuple
+    metric: str
+    base: float
+    head: float
+    #: Relative change in the *bad* direction: positive means worse
+    #: (slower timing / lower ratio), negative means better.
+    change: float
+    lower_better: bool
+    regressed: bool
+    skipped: str | None = None  # reason this delta was not judged
+
+    def describe(self) -> str:
+        direction = "slower" if self.lower_better else "lower"
+        if self.change < 0:
+            direction = "faster" if self.lower_better else "higher"
+        return f"{abs(self.change) * 100:.1f}% {direction}"
+
+
+@dataclass
+class BenchComparison:
+    """The full result of one base-vs-head comparison."""
+
+    deltas: list[FieldDelta] = field(default_factory=list)
+    missing_in_head: list[tuple] = field(default_factory=list)
+    missing_in_base: list[tuple] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[FieldDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _record_key(record: dict, match_fields) -> tuple:
+    return tuple(
+        (name, record.get(name)) for name in match_fields if name in record
+    )
+
+
+def _numeric(value) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _comparable_metrics(record: dict, fields: list[str] | None) -> list[str]:
+    metrics = []
+    for key, value in record.items():
+        if _numeric(value) is None:
+            continue
+        if key == "seconds" or key.endswith("_seconds") or key in HIGHER_BETTER:
+            if fields is None or key in fields:
+                metrics.append(key)
+    return metrics
+
+
+def _index_records(path, records, match_fields) -> dict[tuple, dict]:
+    indexed: dict[tuple, dict] = {}
+    for record in records:
+        key = _record_key(record, match_fields)
+        if key in indexed:
+            raise ReproError(
+                f"{path}: duplicate bench key {dict(key)} — pass --match "
+                "with more fields to disambiguate"
+            )
+        indexed[key] = record
+    return indexed
+
+
+def compare_bench(
+    base_path,
+    head_path,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    fields: list[str] | None = None,
+    match_fields=DEFAULT_MATCH_FIELDS,
+) -> BenchComparison:
+    """Join two bench files on *match_fields* and judge every metric.
+
+    *fields* restricts which metrics are compared (``None`` = every
+    timing and every higher-better ratio present in both records).
+    """
+    if threshold < 0:
+        raise ReproError("threshold must be non-negative")
+    (_, _, base_records), (_, _, head_records) = load_bench_files(
+        [base_path, head_path]
+    )
+    base_index = _index_records(base_path, base_records, match_fields)
+    head_index = _index_records(head_path, head_records, match_fields)
+
+    comparison = BenchComparison()
+    comparison.missing_in_head = [k for k in base_index if k not in head_index]
+    comparison.missing_in_base = [k for k in head_index if k not in base_index]
+
+    for key, base_record in base_index.items():
+        head_record = head_index.get(key)
+        if head_record is None:
+            continue
+        for metric in _comparable_metrics(base_record, fields):
+            base_value = _numeric(base_record.get(metric))
+            head_value = _numeric(head_record.get(metric))
+            if base_value is None or head_value is None:
+                continue
+            lower_better = metric not in HIGHER_BETTER
+            skipped = None
+            if lower_better:
+                if base_value < min_seconds and head_value < min_seconds:
+                    skipped = f"both below the {min_seconds}s noise floor"
+                    change = 0.0
+                elif base_value == 0.0:
+                    skipped = "base timing is zero"
+                    change = 0.0
+                else:
+                    change = (head_value - base_value) / base_value
+            else:
+                if base_value == 0.0:
+                    skipped = "base ratio is zero"
+                    change = 0.0
+                else:
+                    change = (base_value - head_value) / base_value
+            comparison.deltas.append(
+                FieldDelta(
+                    key=key,
+                    metric=metric,
+                    base=base_value,
+                    head=head_value,
+                    change=change,
+                    lower_better=lower_better,
+                    regressed=skipped is None and change > threshold,
+                    skipped=skipped,
+                )
+            )
+    return comparison
+
+
+def _key_text(key: tuple) -> str:
+    return " ".join(f"{name}={value}" for name, value in key)
+
+
+def render_comparison(
+    comparison: BenchComparison,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    verbose: bool = False,
+) -> str:
+    """Human-readable comparison table; regressions always listed."""
+    lines: list[str] = []
+    judged = [d for d in comparison.deltas if d.skipped is None]
+    skipped = [d for d in comparison.deltas if d.skipped is not None]
+    for delta in comparison.deltas:
+        if delta.skipped is not None and not verbose:
+            continue
+        if not (verbose or delta.regressed):
+            continue
+        status = "REGRESSION" if delta.regressed else (
+            f"skipped ({delta.skipped})" if delta.skipped else "ok"
+        )
+        lines.append(
+            f"{status:>26}  {_key_text(delta.key)}  {delta.metric}: "
+            f"{delta.base:g} -> {delta.head:g} ({delta.describe()})"
+        )
+    for key in comparison.missing_in_head:
+        lines.append(f"{'missing in head':>26}  {_key_text(key)}")
+    for key in comparison.missing_in_base:
+        lines.append(f"{'new in head':>26}  {_key_text(key)}")
+    lines.append(
+        f"compared {len(judged)} metric(s) across "
+        f"{len({d.key for d in comparison.deltas})} record pair(s) "
+        f"(threshold {threshold * 100:.0f}%, {len(skipped)} below noise "
+        f"floor): {len(comparison.regressions)} regression(s)"
+    )
+    return "\n".join(lines)

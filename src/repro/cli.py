@@ -9,8 +9,11 @@ Commands
 ``experiment``  run one of the paper's experiments (table1, table2, figures)
 ``info``        show database statistics
 ``bench``       time the batched minimal-matching kernels against the
-                per-pair baseline on a seeded synthetic workload
+                per-pair baseline on a seeded synthetic workload, or
+                ``bench compare BASE.json HEAD.json`` as a regression gate
 ``stats``       merge metrics snapshots and validate trace files
+``obs``         export a trace as Chrome trace-event JSON (``obs export``)
+                or render metrics in OpenMetrics text (``obs expose``)
 
 Observability: ``ingest``, ``query``, ``cluster``, ``experiment`` and
 ``bench`` accept ``--trace FILE`` (JSON-lines span/event trace) and
@@ -70,6 +73,29 @@ def _add_obs_args(sub: argparse.ArgumentParser) -> None:
         default=None,
         metavar="FILE",
         help="write a JSON metrics snapshot (counters/gauges/histograms)",
+    )
+    sub.add_argument(
+        "--trace-mode",
+        choices=["append", "truncate", "rotate"],
+        default="append",
+        help="existing --trace file: 'append' (default) continues it, "
+        "'truncate' starts over, 'rotate' moves it to FILE.1 first",
+    )
+    sub.add_argument(
+        "--sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of queries logged as wide 'query' events "
+        "(deterministic sampling; default 1.0 = every query)",
+    )
+    sub.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="always capture queries at least this slow (with a full "
+        "explain payload), regardless of --sample",
     )
 
 
@@ -271,6 +297,53 @@ def _build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="database statistics")
     info.add_argument("database", type=Path)
 
+    obs = commands.add_parser(
+        "obs", help="trace export and metrics exposition"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_export = obs_commands.add_parser(
+        "export",
+        help="render a --trace file as Chrome trace-event JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+    obs_export.add_argument("trace", type=Path, help="JSON-lines trace file")
+    obs_export.add_argument(
+        "--format",
+        choices=["chrome-trace"],
+        default="chrome-trace",
+        help="output format (only chrome-trace today)",
+    )
+    obs_export.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="output file (default: <trace>.chrome.json)",
+    )
+    obs_expose = obs_commands.add_parser(
+        "expose",
+        help="merge metrics snapshots and render them in OpenMetrics "
+        "(Prometheus) text format",
+    )
+    obs_expose.add_argument(
+        "--metrics",
+        type=Path,
+        nargs="+",
+        required=True,
+        metavar="FILE",
+        help="metrics snapshot files to merge",
+    )
+    obs_expose.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="textfile-collector output (default: stdout)",
+    )
+    obs_expose.add_argument(
+        "--prefix", default="repro_", help="metric name prefix (default: repro_)"
+    )
+
     stats = commands.add_parser(
         "stats", help="merge metrics snapshots and validate trace files"
     )
@@ -300,14 +373,62 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "suite",
         nargs="?",
-        choices=["kernels", "index_scale", "approx_pareto", "report"],
+        choices=["kernels", "index_scale", "approx_pareto", "report", "compare"],
         default="kernels",
         help="'kernels' (default): batched matching kernels vs per-pair "
         "baselines; 'index_scale': array-native index cores vs pointer "
         "trees across database sizes, plus cold zero-copy snapshot loads; "
         "'approx_pareto': sketch-shortlisted approximate k-nn vs the "
         "exact oracle (recall/speedup Pareto curve); 'report': tabulate "
-        "existing BENCH_*.json files",
+        "existing BENCH_*.json files; 'compare': regression sentinel — "
+        "BASE.json HEAD.json per-op deltas, exit 1 on regression",
+    )
+    bench.add_argument(
+        "paths",
+        type=Path,
+        nargs="*",
+        help="compare: exactly two bench files, BASE.json then HEAD.json",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="compare: allowed relative degradation before a metric "
+        "counts as a regression (default 0.10 = 10%%)",
+    )
+    bench.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.005,
+        metavar="S",
+        help="compare: ignore timings below this noise floor on both "
+        "sides (default 0.005s)",
+    )
+    bench.add_argument(
+        "--fields",
+        default=None,
+        metavar="F1,F2,...",
+        help="compare: only judge these metric fields (default: every "
+        "*_seconds timing plus speedup/recall/reduction)",
+    )
+    bench.add_argument(
+        "--match",
+        default=None,
+        metavar="F1,F2,...",
+        help="compare: record-identity fields for the join "
+        "(default: op,backend,n,k,dim,budget)",
+    )
+    bench.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="compare: don't fail when a base record has no head "
+        "counterpart (partial head runs)",
+    )
+    bench.add_argument(
+        "--verbose",
+        action="store_true",
+        help="compare: list every judged metric, not only regressions",
     )
     bench.add_argument(
         "--n",
@@ -1361,6 +1482,104 @@ def cmd_bench_report(args) -> int:
     return 0
 
 
+def cmd_bench_compare(args) -> int:
+    """``repro bench compare BASE.json HEAD.json``: regression sentinel.
+
+    Joins the two files' records on their identity fields, judges every
+    comparable metric (timings lower-better, speedup/recall/reduction
+    higher-better) against ``--threshold``, and exits 1 on any
+    regression — the CI gate against committed baselines.
+    """
+    from repro.bench import compare_bench, render_comparison
+    from repro.bench.compare import DEFAULT_MATCH_FIELDS
+
+    if len(args.paths) != 2:
+        print(
+            "bench compare needs exactly two files: BASE.json HEAD.json",
+            file=sys.stderr,
+        )
+        return 2
+    base, head = args.paths
+    fields = args.fields.split(",") if args.fields else None
+    match_fields = (
+        tuple(args.match.split(",")) if args.match else DEFAULT_MATCH_FIELDS
+    )
+    comparison = compare_bench(
+        base,
+        head,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+        fields=fields,
+        match_fields=match_fields,
+    )
+    print(
+        render_comparison(
+            comparison, threshold=args.threshold, verbose=args.verbose
+        )
+    )
+    if comparison.missing_in_head and not args.allow_missing:
+        print(
+            f"FAIL: {len(comparison.missing_in_head)} base record(s) have "
+            "no head counterpart (pass --allow-missing for partial runs)",
+            file=sys.stderr,
+        )
+        return 1
+    if not comparison.ok:
+        regressed = comparison.regressions
+        print(
+            f"FAIL: {len(regressed)} metric(s) regressed beyond "
+            f"{args.threshold * 100:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    if not any(d.skipped is None for d in comparison.deltas):
+        print(
+            "FAIL: no comparable metrics survived the noise floor — "
+            "nothing was actually compared",
+            file=sys.stderr,
+        )
+        return 2
+    print("bench compare: ok")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """``repro obs export|expose``: trace export and metrics exposition."""
+    import json
+
+    if args.obs_command == "export":
+        from repro.obs.export import assemble_tree, chrome_trace, load_trace
+
+        records = load_trace(args.trace)
+        if not records:
+            print(f"{args.trace}: empty trace", file=sys.stderr)
+            return 2
+        document = chrome_trace(records)
+        out = args.out or args.trace.with_suffix(args.trace.suffix + ".chrome.json")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(document) + "\n")
+        tree = assemble_tree(records)
+        print(
+            f"{len(document['traceEvents'])} trace events "
+            f"({len(tree['nodes'])} spans, {len(tree['roots'])} root(s), "
+            f"{len(tree['trace_ids'])} trace id(s)) -> {out}"
+        )
+        return 0
+
+    # expose: merge snapshots, render OpenMetrics text.
+    from repro.obs.report import load_metrics
+
+    merged = load_metrics(args.metrics)
+    text = merged.expose_prometheus(prefix=args.prefix)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Time the batched kernels against the per-pair baseline.
 
@@ -1375,6 +1594,8 @@ def cmd_bench(args) -> int:
         return cmd_bench_approx_pareto(args)
     if args.suite == "report":
         return cmd_bench_report(args)
+    if args.suite == "compare":
+        return cmd_bench_compare(args)
 
     from repro.bench import write_bench
     from repro.core.batch import PackedSets, match_many, pairwise_matrix
@@ -1621,22 +1842,37 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "bench": cmd_bench,
         "stats": cmd_stats,
+        "obs": cmd_obs,
         "db": cmd_db,
     }
-    # `stats` consumes metrics/trace files; every other command may
-    # produce them.  Either output flag switches the obs layer on for
-    # exactly this invocation (reset afterwards so embedded callers and
-    # tests never leak state between runs).
-    trace_out = getattr(args, "trace", None) if args.command != "stats" else None
-    metrics_out = getattr(args, "metrics", None) if args.command != "stats" else None
+    # `stats` and `obs` consume metrics/trace files; every other command
+    # may produce them.  Either output flag switches the obs layer on
+    # for exactly this invocation (reset afterwards so embedded callers
+    # and tests never leak state between runs).
+    consumer = args.command in ("stats", "obs")
+    trace_out = getattr(args, "trace", None) if not consumer else None
+    metrics_out = getattr(args, "metrics", None) if not consumer else None
     observing = trace_out is not None or metrics_out is not None
+    root_span = None
     if observing:
         from repro import obs
+        from repro.obs import querylog, tracectx
 
         obs.registry().reset()
         obs.enable()
+        querylog.configure(
+            sample_rate=getattr(args, "sample", 1.0),
+            slow_ms=getattr(args, "slow_ms", None),
+        )
         if trace_out is not None:
-            obs.configure_sink(trace_out)
+            obs.configure_sink(trace_out, mode=getattr(args, "trace_mode", "append"))
+        # One trace id and one root span per CLI command: every span
+        # and event of the run (pool workers included) carries the same
+        # trace id and descends from this root, so `repro obs export`
+        # reassembles the whole command into a single tree.
+        tracectx.set_trace_context(tracectx.new_trace_id())
+        root_span = obs.span(f"cli.{args.command}")
+        root_span.__enter__()
     try:
         return handlers[args.command](args)
     except ReproError as exc:
@@ -1647,7 +1883,12 @@ def main(argv: list[str] | None = None) -> int:
             import json
 
             from repro import obs
+            from repro.obs import querylog, tracectx
 
+            if root_span is not None:
+                root_span.__exit__(None, None, None)
+            tracectx.clear_trace_context()
+            querylog.reset()
             if metrics_out is not None:
                 snapshot = obs.registry().snapshot(include_events=False)
                 Path(metrics_out).parent.mkdir(parents=True, exist_ok=True)

@@ -54,7 +54,8 @@ from repro.core.batch import DEFAULT_CHUNK_SIZE, PackedSets, match_pairs
 from repro.core.centroid import extended_centroid
 from repro.core.vector_set import VectorSet
 from repro.exceptions import QueryError
-from repro.obs import emit, registry, span
+from repro.obs import registry, span
+from repro.obs import querylog
 
 #: A ranker yields (object id, centroid distance) in ascending centroid
 #: distance; spatial indexes plug in here.
@@ -312,22 +313,34 @@ class FilterRefineEngine:
 
     # -- telemetry ---------------------------------------------------------
 
-    def _record_query(self, kind: str, stats: QueryStats, **extra) -> None:
-        """Per-query telemetry: registry counters + one ``query`` event.
+    def _record_query(
+        self,
+        kind: str,
+        stats: QueryStats,
+        *,
+        seconds: float = 0.0,
+        refine_seconds: float = 0.0,
+        blocks: int = 0,
+        **extra,
+    ) -> None:
+        """Per-query telemetry: registry counters + one wide event.
 
-        The event carries exactly the fields of ``stats.as_dict()`` (so
-        trace consumers see the same numbers the caller gets back) plus
-        the filter selectivity ``exact_computations / n``.
+        Delegates to :func:`repro.obs.querylog.record_query`, which
+        always accounts the counters and — subject to sampling / the
+        slow-query threshold — emits one ``query`` record carrying
+        exactly the fields of ``stats.as_dict()`` (so trace consumers
+        see the same numbers the caller gets back) plus phase timings
+        and whatever context the database layer contributed.
         """
-        reg = registry()
-        if not reg.enabled:
-            return
-        n = len(self._sets)
-        selectivity = stats.exact_computations / n
-        reg.counter("query.count").inc()
-        reg.count_many("query.", stats.as_dict())
-        reg.histogram("query.selectivity").observe(selectivity)
-        emit("query", kind=kind, n=n, selectivity=selectivity, **stats.as_dict(), **extra)
+        querylog.record_query(
+            kind,
+            stats.as_dict(),
+            len(self._sets),
+            seconds=seconds,
+            refine_seconds=refine_seconds,
+            blocks=blocks,
+            **extra,
+        )
 
     # -- queries -----------------------------------------------------------
 
@@ -346,6 +359,8 @@ class FilterRefineEngine:
         if epsilon < 0:
             raise QueryError("epsilon must be non-negative")
         stats = QueryStats()
+        refine_seconds = 0.0
+        blocks = 0
         with span("query.range", epsilon=epsilon) as sp:
             query_arr = self._query_array(query)
             center = self._query_centroid(query)
@@ -379,15 +394,25 @@ class FilterRefineEngine:
                 chunk = candidates[start : start + DEFAULT_CHUNK_SIZE]
                 stats.exact_computations += len(chunk)
                 registry().histogram("query.block_candidates").observe(len(chunk))
-                with span("query.refine", candidates=len(chunk)):
+                with span("query.refine", candidates=len(chunk)) as rsp:
                     exacts = self._refine_many(prepared, query_arr, chunk)
+                refine_seconds += rsp.seconds
+                blocks += 1
                 for pos, exact in zip(chunk, exacts):
                     if exact <= epsilon:
                         results.append(QueryMatch(self.oids[pos], float(exact)))
             stats.pruned = len(self._sets) - stats.exact_computations
             results.sort(key=lambda match: (match.distance, match.object_id))
             sp.set(results=len(results))
-        self._record_query("range", stats, epsilon=epsilon, results=len(results))
+        self._record_query(
+            "range",
+            stats,
+            seconds=sp.seconds,
+            refine_seconds=refine_seconds,
+            blocks=blocks,
+            epsilon=epsilon,
+            results=len(results),
+        )
         return results, stats
 
     def knn_query(
@@ -418,6 +443,8 @@ class FilterRefineEngine:
         if n_neighbors < 1:
             raise QueryError("n_neighbors must be >= 1")
         stats = QueryStats()
+        refine_seconds = 0.0
+        blocks = 0
         with span("query.knn", k=n_neighbors) as sp:
             query_arr = self._query_array(query)
             center = self._query_centroid(query)
@@ -430,14 +457,16 @@ class FilterRefineEngine:
 
             def flush() -> None:
                 """Refine the pending block and replay the sequential walk."""
-                nonlocal stop
+                nonlocal stop, refine_seconds, blocks
                 if not pending:
                     return
                 ids = [pos for pos, _ in pending]
                 stats.exact_computations += len(ids)
                 registry().histogram("query.block_candidates").observe(len(ids))
-                with span("query.refine", candidates=len(ids)):
+                with span("query.refine", candidates=len(ids)) as rsp:
                     exacts = self._refine_many(prepared, query_arr, ids)
+                refine_seconds += rsp.seconds
+                blocks += 1
                 for (pos, lower_bound), exact in zip(pending, exacts):
                     # The sequential algorithm would have stopped here; this
                     # and every later refinement of the block is overshoot.
@@ -517,7 +546,14 @@ class FilterRefineEngine:
             results = [QueryMatch(-neg_oid, -neg_dist) for neg_dist, neg_oid in heap]
             results.sort(key=lambda match: (match.distance, match.object_id))
             sp.set(results=len(results))
-        self._record_query("knn", stats, k=n_neighbors)
+        self._record_query(
+            "knn",
+            stats,
+            seconds=sp.seconds,
+            refine_seconds=refine_seconds,
+            blocks=blocks,
+            k=n_neighbors,
+        )
         return results, stats
 
     def knn_sequential(
@@ -528,7 +564,7 @@ class FilterRefineEngine:
         the batched kernel in database order."""
         if n_neighbors < 1:
             raise QueryError("n_neighbors must be >= 1")
-        with span("query.scan", k=n_neighbors):
+        with span("query.scan", k=n_neighbors) as sp:
             query_arr = self._query_array(query)
             prepared = self._prepare_query(query_arr)
             n = len(self._sets)
@@ -549,7 +585,15 @@ class FilterRefineEngine:
             ext = np.asarray(self.oids)
             order = np.lexsort((ext, exacts))[:n_neighbors]
             results = [QueryMatch(int(ext[idx]), float(exacts[idx])) for idx in order]
-        self._record_query("scan", stats, k=n_neighbors)
+        # No filter step: the whole scan is refinement.
+        self._record_query(
+            "scan",
+            stats,
+            seconds=sp.seconds,
+            refine_seconds=sp.seconds,
+            blocks=-(-n // DEFAULT_CHUNK_SIZE),
+            k=n_neighbors,
+        )
         return results, stats
 
     def knn_refine_subset(
@@ -581,7 +625,7 @@ class FilterRefineEngine:
         if not positions:
             self._record_query("knn_subset", stats, k=n_neighbors)
             return [], stats
-        with span("query.knn_subset", k=n_neighbors, candidates=len(positions)):
+        with span("query.knn_subset", k=n_neighbors, candidates=len(positions)) as sp:
             prepared = self._prepare_query(query_arr)
             exacts = np.concatenate(
                 [
@@ -598,7 +642,15 @@ class FilterRefineEngine:
             ext = self._oid_arr[np.asarray(positions, dtype=np.intp)]
             order = np.lexsort((ext, exacts))[:n_neighbors]
             results = [QueryMatch(int(ext[idx]), float(exacts[idx])) for idx in order]
-        self._record_query("knn_subset", stats, k=n_neighbors)
+        # The caller already filtered; the whole subset pass is refinement.
+        self._record_query(
+            "knn_subset",
+            stats,
+            seconds=sp.seconds,
+            refine_seconds=sp.seconds,
+            blocks=-(-len(positions) // DEFAULT_CHUNK_SIZE),
+            k=n_neighbors,
+        )
         return results, stats
 
     def knn_query_many(
@@ -646,7 +698,9 @@ class FilterRefineEngine:
             state.done = False
             states.append(state)
 
-        with span("query.knn_many", queries=len(queries), k=n_neighbors):
+        refine_seconds = 0.0
+        rounds = 0
+        with span("query.knn_many", queries=len(queries), k=n_neighbors) as sp:
             while True:
                 qi_idx: list[int] = []
                 oid_idx: list[int] = []
@@ -677,7 +731,9 @@ class FilterRefineEngine:
                 if not blocks:
                     break
                 registry().histogram("query.block_candidates").observe(len(qi_idx))
-                with span("query.refine", candidates=len(qi_idx), queries=len(blocks)):
+                with span(
+                    "query.refine", candidates=len(qi_idx), queries=len(blocks)
+                ) as rsp:
                     exacts = match_pairs(
                         packed_queries,
                         np.asarray(qi_idx, dtype=np.intp),
@@ -685,6 +741,8 @@ class FilterRefineEngine:
                         right=self._packed,
                         backend=self.backend,
                     )
+                refine_seconds += rsp.seconds
+                rounds += 1
                 offset = 0
                 for qi, block in blocks:
                     state = states[qi]
@@ -709,6 +767,10 @@ class FilterRefineEngine:
                     offset += len(block)
 
         output: list[tuple[list[QueryMatch], QueryStats]] = []
+        # Per-query wall time is not separable inside the cross-query
+        # batch; records carry the amortized share plus the batch size.
+        share = sp.seconds / len(queries)
+        refine_share = refine_seconds / len(queries)
         for state in states:
             state.stats.pruned = n_objects - state.stats.exact_computations
             results = [
@@ -716,7 +778,15 @@ class FilterRefineEngine:
             ]
             results.sort(key=lambda match: (match.distance, match.object_id))
             output.append((results, state.stats))
-            self._record_query("knn", state.stats, k=n_neighbors)
+            self._record_query(
+                "knn",
+                state.stats,
+                seconds=share,
+                refine_seconds=refine_share,
+                blocks=rounds,
+                k=n_neighbors,
+                batch=len(queries),
+            )
         return output
 
     # Alias kept for throughput-oriented callers.

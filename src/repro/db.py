@@ -57,7 +57,7 @@ queries without the centroid filter.
 from __future__ import annotations
 
 import threading
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -85,6 +85,7 @@ from repro.index.snapshot import (
     write_archive,
 )
 from repro.obs import emit, registry, span
+from repro.obs import querylog
 from repro.testing.faults import crash_point
 from repro.wal import DurableLayout, WriteAheadLog, scan_segment
 
@@ -687,38 +688,67 @@ class SimilarityDatabase:
                 registry().counter("db.engine_rebuilds").inc()
             return self._engine
 
+    def _query_context(self, mode: str):
+        """Wide-event context for one query: backend, mode, database
+        version, and the IO counter baselines that become per-query
+        page/byte deltas.  A plain ``nullcontext`` while observability
+        is disabled, so the disabled query path stays free."""
+        if not registry().enabled:
+            return nullcontext()
+        return querylog.query_context(
+            backend=self.backend,
+            mode=mode,
+            db_version=self._version,
+            io_baseline=querylog.io_baseline(),
+        )
+
     def _mtree_query(self, kind: str, query, arg):
         arr = self._as_set(query)
         index = self._query_index()
         before = index.distance_computations
-        if kind == "knn":
-            pairs = index.knn(arr, arg)
-        else:
-            pairs = index.range_search(arr, arg)
+        with span(f"query.mtree_{kind}") as sp:
+            if kind == "knn":
+                pairs = index.knn(arr, arg)
+            else:
+                pairs = index.range_search(arr, arg)
         stats = QueryStats(
             candidates_ranked=len(self._sets),
             exact_computations=index.distance_computations - before,
         )
         stats.pruned = max(0, len(self._sets) - stats.exact_computations)
+        # The M-tree bypasses FilterRefineEngine, so it records its own
+        # wide event; metric-tree traversal has no separable filter
+        # phase — the whole search is exact distance work.
+        querylog.record_query(
+            f"mtree_{kind}",
+            stats.as_dict(),
+            len(self._sets),
+            seconds=sp.seconds,
+            refine_seconds=sp.seconds,
+            results=len(pairs),
+            **({"k": arg} if kind == "knn" else {"epsilon": arg}),
+        )
         return [QueryMatch(oid, float(dist)) for oid, dist in pairs], stats
 
     def _knn_locked(self, query, n_neighbors: int):
         if not self._sets:
             return self._empty_result()
-        if self.backend == "mtree":
-            return self._mtree_query("knn", query, n_neighbors)
-        return self._ensure_engine().knn_query(
-            query, n_neighbors, centroid_ranker=self._ranker()
-        )
+        with self._query_context("exact"):
+            if self.backend == "mtree":
+                return self._mtree_query("knn", query, n_neighbors)
+            return self._ensure_engine().knn_query(
+                query, n_neighbors, centroid_ranker=self._ranker()
+            )
 
     def _range_locked(self, query, epsilon: float):
         if not self._sets:
             return self._empty_result()
-        if self.backend == "mtree":
-            return self._mtree_query("range", query, epsilon)
-        return self._ensure_engine().range_query(
-            query, epsilon, centroid_ranker=self._ranker()
-        )
+        with self._query_context("exact"):
+            if self.backend == "mtree":
+                return self._mtree_query("range", query, epsilon)
+            return self._ensure_engine().range_query(
+                query, epsilon, centroid_ranker=self._ranker()
+            )
 
     def _approx_knn_locked(self, query, n_neighbors: int, shortlist: int | None):
         if not self._sets:
@@ -731,7 +761,10 @@ class SimilarityDatabase:
         engine = ApproxFilterRefineEngine(
             self._ensure_engine(), self._sketcher, self._hamming
         )
-        return engine.knn_query(self._as_set(query), n_neighbors, shortlist=shortlist)
+        with self._query_context("approx"):
+            return engine.knn_query(
+                self._as_set(query), n_neighbors, shortlist=shortlist
+            )
 
     def knn_query(
         self,

@@ -43,16 +43,25 @@ from repro.obs.metrics import (
     histogram,
     registry,
 )
-from repro.obs.spans import NULL_SPAN, Span, span
+from repro.obs.spans import NULL_SPAN, Span, reset_stack, span
+from repro.obs.tracectx import (
+    clear_trace_context,
+    current_trace_id,
+    new_trace_id,
+    set_trace_context,
+    trace_context,
+)
 
 __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "Span",
     "capture_deltas",
+    "clear_trace_context",
     "close_sink",
     "configure_sink",
     "counter",
+    "current_trace_id",
     "disable",
     "dispatch",
     "emit",
@@ -61,9 +70,13 @@ __all__ = [
     "gauge",
     "histogram",
     "merge_worker_snapshot",
+    "new_trace_id",
     "registry",
+    "reset_stack",
+    "set_trace_context",
     "sink",
     "span",
+    "trace_context",
 ]
 
 

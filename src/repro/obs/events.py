@@ -16,7 +16,10 @@ import os
 import time
 from pathlib import Path
 
-from repro.obs import metrics
+from repro.obs import metrics, tracectx
+
+#: How :class:`EventSink` treats an existing file at its path.
+SINK_MODES = ("append", "truncate", "rotate")
 
 
 class EventSink:
@@ -27,12 +30,28 @@ class EventSink:
     registry buffer instead (writing through an inherited shared file
     descriptor would interleave/clobber records).  Line-buffered, so a
     fork never duplicates half-flushed parent output into children.
+
+    *mode* governs an existing file at *path*: ``"append"`` (default)
+    continues after its last record — two CLI invocations sharing one
+    ``--trace FILE`` both survive; ``"truncate"`` starts the file over
+    (the pre-PR-9 behaviour); ``"rotate"`` moves the old file to
+    ``<path>.1`` (replacing any previous ``.1``) and starts fresh.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, mode: str = "append"):
+        if mode not in SINK_MODES:
+            raise ValueError(f"sink mode must be one of {SINK_MODES}, got {mode!r}")
         self.path = Path(path)
+        self.mode = mode
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self.path, "w", encoding="utf-8", buffering=1)
+        if mode == "rotate" and self.path.exists():
+            self.path.replace(self.path.with_name(self.path.name + ".1"))
+        self._handle = open(
+            self.path,
+            "a" if mode == "append" else "w",
+            encoding="utf-8",
+            buffering=1,
+        )
         self.owner_pid = os.getpid()
         self.written = 0
 
@@ -49,12 +68,12 @@ class EventSink:
 _sink: EventSink | None = None
 
 
-def configure_sink(path: str | Path) -> EventSink:
+def configure_sink(path: str | Path, mode: str = "append") -> EventSink:
     """Open (replacing any previous) trace sink at *path*."""
     global _sink
     if _sink is not None:
         _sink.close()
-    _sink = EventSink(path)
+    _sink = EventSink(path, mode=mode)
     return _sink
 
 
@@ -84,7 +103,16 @@ def dispatch(record: dict) -> None:
 
 
 def emit(event: str, **fields) -> None:
-    """Emit a structured telemetry event (no-op while obs is disabled)."""
+    """Emit a structured telemetry event (no-op while obs is disabled).
+
+    Records are stamped with the current trace id (when a trace context
+    is installed) and the emitting pid, so traces merged across worker
+    processes keep their provenance.
+    """
     if not metrics.enabled():
         return
-    dispatch({"event": event, "ts": time.time(), **fields})
+    record = {"event": event, "ts": time.time(), "pid": os.getpid(), **fields}
+    trace_id = tracectx.current_trace_id()
+    if trace_id is not None and "trace" not in record:
+        record["trace"] = trace_id
+    dispatch(record)

@@ -22,12 +22,35 @@ report.  Everything is designed around two invariants:
 from __future__ import annotations
 
 import math
+import re
 import threading
+from bisect import bisect_left
 from contextlib import contextmanager
 
 #: Reservoir size per histogram; quantiles are estimated over at most
 #: this many stride-sampled observations.
 DEFAULT_RESERVOIR = 256
+
+#: Fixed histogram bucket upper bounds (seconds-oriented, but generic):
+#: a geometric 1/2.5/10 ladder from a quarter millisecond to ~17 minutes.
+#: Unlike the reservoir, bucket counts merge *exactly* across processes,
+#: which is what makes them the right shape for Prometheus exposition.
+DEFAULT_BUCKETS = (
+    0.00025,
+    0.001,
+    0.0025,
+    0.01,
+    0.025,
+    0.1,
+    0.25,
+    1.0,
+    2.5,
+    10.0,
+    25.0,
+    100.0,
+    250.0,
+    1000.0,
+)
 
 #: Events buffered in the registry when no trace sink is configured
 #: (worker processes); older events are kept, overflow is counted.
@@ -64,11 +87,33 @@ class Histogram:
     The reservoir keeps every ``stride``-th observation; when it
     overflows, every other sample is dropped and the stride doubles —
     no randomness, so repeated runs produce identical snapshots.
+
+    Alongside the reservoir, every observation lands in one of the
+    fixed cumulative-style buckets (``bounds[i]`` is the inclusive
+    upper edge; values above the last bound only count toward the
+    implicit ``+Inf`` bucket, i.e. ``count``).  Bucket counts are exact
+    and merge exactly, so :meth:`MetricsRegistry.expose_prometheus` can
+    render true OpenMetrics histograms while ``repro stats`` keeps its
+    reservoir-estimated quantiles.
     """
 
-    __slots__ = ("count", "total", "min", "max", "samples", "max_samples", "_stride")
+    __slots__ = (
+        "count",
+        "total",
+        "min",
+        "max",
+        "samples",
+        "max_samples",
+        "_stride",
+        "bounds",
+        "bucket_counts",
+    )
 
-    def __init__(self, max_samples: int = DEFAULT_RESERVOIR) -> None:
+    def __init__(
+        self,
+        max_samples: int = DEFAULT_RESERVOIR,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
@@ -76,6 +121,8 @@ class Histogram:
         self.samples: list[float] = []
         self.max_samples = max_samples
         self._stride = 1
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * len(self.bounds)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -90,6 +137,9 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        slot = bisect_left(self.bounds, value)
+        if slot < len(self.bucket_counts):
+            self.bucket_counts[slot] += 1
 
     @property
     def mean(self) -> float:
@@ -110,6 +160,8 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "samples": list(self.samples),
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
         }
 
     def merge_dict(self, data: dict) -> None:
@@ -128,6 +180,13 @@ class Histogram:
             step = -(-len(merged) // self.max_samples)
             merged = merged[::step]
         self.samples = merged
+        # Bucket counts merge exactly, but only between identical
+        # ladders; pre-PR-9 snapshots (no "bounds") or custom ladders
+        # fall back to reservoir-only merging for this histogram.
+        bounds = data.get("bounds")
+        if bounds is not None and tuple(float(b) for b in bounds) == self.bounds:
+            for i, n in enumerate(data.get("buckets", ())):
+                self.bucket_counts[i] += int(n)
 
 
 class _NullCounter:
@@ -154,6 +213,22 @@ class _NullHistogram:
 NULL_COUNTER = _NullCounter()
 NULL_GAUGE = _NullGauge()
 NULL_HISTOGRAM = _NullHistogram()
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    """Registry names are dotted (``query.knn.count``); Prometheus
+    metric names allow only ``[a-zA-Z0-9_:]``."""
+    return _NAME_SANITIZER.sub("_", prefix + name)
+
+
+def _format_value(value: float) -> str:
+    """Integers render without a trailing ``.0`` (OpenMetrics allows
+    either; the bare form keeps bucket ``le`` labels readable)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
 
 
 class MetricsRegistry:
@@ -259,6 +334,42 @@ class MetricsRegistry:
             self._histograms.clear()
             self.events.clear()
             self.dropped_events = 0
+
+    # -- exposition ------------------------------------------------------------
+
+    def expose_prometheus(self, prefix: str = "repro_") -> str:
+        """Render every instrument in OpenMetrics text format.
+
+        Counters become ``<prefix><name>_total``, gauges plain samples,
+        histograms the canonical ``_bucket{le=...}`` / ``_sum`` /
+        ``_count`` triple using the exact fixed-bucket counts (the
+        reservoir never leaks into exposition).  This string is what
+        ``repro obs expose`` writes and what a future HTTP ``/metrics``
+        endpoint will serve verbatim.
+        """
+        lines: list[str] = []
+        for name, c in sorted(self._counters.items()):
+            metric = _metric_name(prefix, name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(c.value)}")
+        for name, g in sorted(self._gauges.items()):
+            metric = _metric_name(prefix, name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(g.value)}")
+        for name, h in sorted(self._histograms.items()):
+            metric = _metric_name(prefix, name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, n in zip(h.bounds, h.bucket_counts):
+                cumulative += n
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {h.count}')
+            lines.append(f"{metric}_sum {_format_value(h.total)}")
+            lines.append(f"{metric}_count {h.count}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
 
 
 _registry = MetricsRegistry()

@@ -100,6 +100,13 @@ def validate_counters(registry: MetricsRegistry) -> list[str]:
     ]
 
 
+def max_reservoir(registry: MetricsRegistry) -> int:
+    """Largest reservoir bound across the registry's histograms (for
+    the estimate caveat in the report header)."""
+    sizes = [h.max_samples for h in registry._histograms.values()]
+    return max(sizes) if sizes else 0
+
+
 def render_report(
     registry: MetricsRegistry, checks: list[TraceCheck] | None = None
 ) -> str:
@@ -118,7 +125,10 @@ def render_report(
         for name, value in snap["gauges"].items():
             lines.append(f"  {name:<{width}}  {value:g}")
     if snap["histograms"]:
-        lines.append("histograms:")
+        lines.append(
+            "histograms (quantiles are reservoir estimates over at most "
+            f"{max_reservoir(registry)} samples/histogram):"
+        )
         width = max(len(name) for name in snap["histograms"])
         for name in snap["histograms"]:
             histogram = registry.histogram(name)
@@ -128,8 +138,11 @@ def render_report(
                 continue
             lines.append(
                 f"  {name:<{width}}  count={histogram.count} "
+                f"samples={len(histogram.samples)} "
                 f"mean={histogram.mean:.6g} p50={histogram.quantile(0.5):.6g} "
-                f"p90={histogram.quantile(0.9):.6g} max={histogram.max:.6g}"
+                f"p90={histogram.quantile(0.9):.6g} "
+                f"p95={histogram.quantile(0.95):.6g} "
+                f"p99={histogram.quantile(0.99):.6g} max={histogram.max:.6g}"
             )
     for check in checks or []:
         status = "OK" if check.ok else f"{len(check.errors)} error(s)"

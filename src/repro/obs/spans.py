@@ -20,7 +20,7 @@ import threading
 import time
 from contextlib import contextmanager
 
-from repro.obs import metrics
+from repro.obs import metrics, tracectx
 from repro.obs.events import dispatch
 
 _local = threading.local()
@@ -34,6 +34,18 @@ def _stack() -> list:
     except AttributeError:
         _local.stack = []
         return _local.stack
+
+
+def reset_stack() -> None:
+    """Drop any open spans inherited by a forked worker process.
+
+    A pool worker forked mid-span inherits the parent's (thread-local)
+    span stack; parenting worker spans to those stale entries would be
+    wrong once the pool is reused for a later batch.  Workers call this
+    before installing their propagated trace context, so their spans
+    parent to the *propagated* submitting span instead.
+    """
+    _local.stack = []
 
 
 def _new_span_id() -> str:
@@ -94,19 +106,26 @@ def span(name: str, /, force: bool = False, **attrs):
         yield NULL_SPAN
         return
     stack = _stack()
-    parent_id = stack[-1].span_id if (recording and stack) else None
+    parent_id = None
+    if recording:
+        # Nesting is thread-local; a span opening on an empty stack
+        # parents to the cross-process span propagated by pool_map (if
+        # any), which is what stitches worker traces into one tree.
+        parent_id = stack[-1].span_id if stack else tracectx.propagated_parent()
     record = Span(name, dict(attrs), _new_span_id() if recording else "", parent_id)
     if recording:
         stack.append(record)
-        dispatch(
-            {
-                "event": "span_start",
-                "ts": time.time(),
-                "id": record.span_id,
-                "name": name,
-                "parent": parent_id,
-            }
-        )
+        start_event = {
+            "event": "span_start",
+            "ts": time.time(),
+            "id": record.span_id,
+            "name": name,
+            "parent": parent_id,
+        }
+        trace_id = tracectx.current_trace_id()
+        if trace_id is not None:
+            start_event["trace"] = trace_id
+        dispatch(start_event)
     record.start = time.perf_counter()
     try:
         yield record
@@ -115,14 +134,16 @@ def span(name: str, /, force: bool = False, **attrs):
         if recording:
             stack.pop()
             metrics.histogram(f"span.{name}.seconds").observe(record.seconds)
-            dispatch(
-                {
-                    "event": "span_end",
-                    "ts": time.time(),
-                    "id": record.span_id,
-                    "name": name,
-                    "parent": parent_id,
-                    "seconds": record.seconds,
-                    "attrs": record.attrs,
-                }
-            )
+            end_event = {
+                "event": "span_end",
+                "ts": time.time(),
+                "id": record.span_id,
+                "name": name,
+                "parent": parent_id,
+                "seconds": record.seconds,
+                "attrs": record.attrs,
+            }
+            trace_id = tracectx.current_trace_id()
+            if trace_id is not None:
+                end_event["trace"] = trace_id
+            dispatch(end_event)

@@ -61,14 +61,29 @@ def _captured_task(payload):
     Module-level so it pickles; returns ``(result, snapshot_or_None)``.
     Exceptions propagate unchanged (their capture snapshot is discarded
     — the batch is aborting anyway).
+
+    The payload carries the submitting process's trace context
+    ``(trace_id, parent_span_id)``: the worker clears any span stack it
+    inherited via fork and installs that context for the duration of
+    the task, so every span it records carries the batch's trace id and
+    parents (across the process boundary) to the span that submitted
+    the work — the whole fan-out reassembles into one tree.
     """
-    capture, task_fn, task = payload
+    capture, trace_ctx, task_fn, task = payload
     if not capture:
         return task_fn(task), None
-    from repro.obs import capture_deltas
+    from repro.obs import capture_deltas, reset_stack
+    from repro.obs.tracectx import clear_trace_context, set_trace_context
 
     with capture_deltas() as holder:
-        result = task_fn(task)
+        reset_stack()
+        set_trace_context(*trace_ctx)
+        try:
+            result = task_fn(task)
+        finally:
+            # Pool workers are reused: never leak one batch's context
+            # into the next.
+            clear_trace_context()
     return result, holder.snapshot
 
 
@@ -82,10 +97,12 @@ def pool_map(task_fn, tasks: list, n_jobs: int, chunksize: int = 1) -> list:
     """
     from repro.obs import enabled as obs_enabled
     from repro.obs import merge_worker_snapshot
+    from repro.obs.tracectx import propagation
 
     pool = shared_pool(min(n_jobs, len(tasks)))
     capture = obs_enabled()
-    payloads = [(capture, task_fn, task) for task in tasks]
+    trace_ctx = propagation() if capture else (None, None)
+    payloads = [(capture, trace_ctx, task_fn, task) for task in tasks]
     results = []
     for result, snapshot in pool.map(_captured_task, payloads, chunksize=chunksize):
         if snapshot is not None:

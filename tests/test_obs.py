@@ -522,5 +522,132 @@ class TestWorkerParity:
         assert obs.registry().snapshot()["counters"] == {}
 
 
+class TestSinkModes:
+    """Satellite fix: a second run sharing ``--trace FILE`` must not
+    clobber the first run's records (the pre-PR-9 ``"w"`` open did)."""
+
+    def test_append_mode_survives_two_runs(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        obs.enable()
+        for note in ("first", "second"):
+            obs.configure_sink(trace)  # default mode: append
+            obs.emit("run", note=note)
+            obs.close_sink()
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert [r["note"] for r in records] == ["first", "second"]
+
+    def test_truncate_mode_starts_over(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        obs.enable()
+        for note in ("first", "second"):
+            obs.configure_sink(trace, mode="truncate")
+            obs.emit("run", note=note)
+            obs.close_sink()
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert [r["note"] for r in records] == ["second"]
+
+    def test_rotate_mode_keeps_previous_file(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        obs.enable()
+        for note in ("first", "second", "third"):
+            obs.configure_sink(trace, mode="rotate")
+            obs.emit("run", note=note)
+            obs.close_sink()
+        current = [json.loads(line) for line in trace.read_text().splitlines()]
+        rotated = [
+            json.loads(line)
+            for line in (tmp_path / "trace.jsonl.1").read_text().splitlines()
+        ]
+        # Only one rotation generation is kept: .1 holds the previous
+        # run, older runs are gone.
+        assert [r["note"] for r in current] == ["third"]
+        assert [r["note"] for r in rotated] == ["second"]
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        from repro.obs.events import EventSink
+
+        with pytest.raises(ValueError, match="sink mode"):
+            EventSink(tmp_path / "trace.jsonl", mode="overwrite")
+
+
+class TestSpawnParity:
+    def test_spawn_workers_report_identical_telemetry(self, enabled):
+        """Worker metric capture must not depend on fork inheritance:
+        under the spawn start method the worker process starts with a
+        pristine, *disabled* obs layer, and ``capture_deltas`` alone
+        must produce the same counters/spans/events a serial run does."""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.obs.tracectx import new_trace_id
+
+        tasks = [1, 2, 3]
+
+        def serial_run():
+            obs.registry().reset()
+            for task in tasks:
+                _spawn_work(task)
+            snap = obs.registry().snapshot(include_events=False)
+            obs.registry().reset()
+            return snap
+
+        serial = serial_run()
+
+        trace_id = new_trace_id()
+        payloads = [
+            (True, (trace_id, None), _spawn_work, task) for task in tasks
+        ]
+        from repro.parallel import _captured_task
+
+        with ProcessPoolExecutor(
+            max_workers=2, mp_context=multiprocessing.get_context("spawn")
+        ) as pool:
+            for result, snapshot in pool.map(_captured_task, payloads):
+                assert snapshot is not None
+                obs.merge_worker_snapshot(snapshot)
+        spawned = obs.registry().snapshot(include_events=False)
+
+        assert spawned["counters"] == serial["counters"]
+        assert (
+            spawned["histograms"]["span.spawn.work.seconds"]["count"]
+            == serial["histograms"]["span.spawn.work.seconds"]["count"]
+            == 3
+        )
+        # Worker events re-dispatched into the parent sink, each
+        # stamped with the propagated trace id.
+        obs.close_sink()
+        records = [json.loads(line) for line in enabled.read_text().splitlines()]
+        # (The serial baseline wrote untraced markers into the same
+        # sink; the worker ones are exactly the traced ones.)
+        markers = [
+            r
+            for r in records
+            if r["event"] == "spawn_marker" and r.get("trace") == trace_id
+        ]
+        assert len(markers) == 3
+
+
+class TestReportQuantiles:
+    def test_histogram_lines_carry_tails_and_caveat(self):
+        from repro.obs.report import render_report
+
+        reg = MetricsRegistry(enabled=True)
+        for value in range(100):
+            reg.histogram("span.knn.seconds").observe(float(value) / 100)
+        text = render_report(reg, [])
+        assert "reservoir estimates" in text
+        line = next(l for l in text.splitlines() if "span.knn.seconds" in l)
+        assert "p95=" in line and "p99=" in line and "samples=" in line
+
+
 def _double(x):
     return 2 * x
+
+
+def _spawn_work(task):
+    """Spawn-pool work unit (module-level so it pickles): one counter
+    bump, one span, one event per task."""
+    obs.counter("spawn.tasks").inc()
+    with span("spawn.work", task=task):
+        obs.emit("spawn_marker", task=task)
+    return task
