@@ -9,8 +9,9 @@ computes per-field deltas for the comparable metrics:
   more than ``threshold`` slower than base.  Timings below the
   ``min_seconds`` noise floor on both sides are skipped — a 0.4 ms
   measurement regressing by 30% is measurement jitter, not a signal.
-* ``speedup``/``recall``/``reduction`` ratios are **higher-better**:
-  head regresses when it loses more than ``threshold`` of base's value.
+* ``speedup``/``recall``/``reduction`` ratios — bare or suffixed, e.g.
+  ``batched_speedup``, ``ingest_speedup`` — are **higher-better**: head
+  regresses when it loses more than ``threshold`` of base's value.
 
 The result says, per compared pair, whether head improved, held, or
 regressed; :func:`render_comparison` prints the table and the CLI exits
@@ -37,8 +38,15 @@ __all__ = [
 #: key when present); everything else is a measurement or annotation.
 DEFAULT_MATCH_FIELDS = ("op", "backend", "n", "k", "dim", "budget")
 
-#: Higher-better ratio fields ("the bigger the healthier").
+#: Higher-better ratio fields ("the bigger the healthier"); matched
+#: bare or as a suffix (``batched_speedup``, ``ingest_speedup``, ...).
 HIGHER_BETTER = ("speedup", "recall", "reduction")
+
+
+def _higher_better(key: str) -> bool:
+    return key in HIGHER_BETTER or key.endswith(
+        tuple(f"_{name}" for name in HIGHER_BETTER)
+    )
 
 #: Timings below this (seconds) on both sides are noise, not signal.
 DEFAULT_MIN_SECONDS = 0.005
@@ -104,7 +112,7 @@ def _comparable_metrics(record: dict, fields: list[str] | None) -> list[str]:
     for key, value in record.items():
         if _numeric(value) is None:
             continue
-        if key == "seconds" or key.endswith("_seconds") or key in HIGHER_BETTER:
+        if key == "seconds" or key.endswith("_seconds") or _higher_better(key):
             if fields is None or key in fields:
                 metrics.append(key)
     return metrics
@@ -158,7 +166,7 @@ def compare_bench(
             head_value = _numeric(head_record.get(metric))
             if base_value is None or head_value is None:
                 continue
-            lower_better = metric not in HIGHER_BETTER
+            lower_better = not _higher_better(metric)
             skipped = None
             if lower_better:
                 if base_value < min_seconds and head_value < min_seconds:

@@ -234,6 +234,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ObjectDatabase archive used as the recovery ladder's "
         "last-resort rebuild input",
     )
+    db_init.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="create a sharded database: K independent shards behind "
+        "one scatter-gather API (a directory layout; with --durable "
+        "each shard gets its own WAL)",
+    )
     _add_obs_args(db_init)
 
     db_add = db_commands.add_parser(
@@ -373,13 +382,22 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "suite",
         nargs="?",
-        choices=["kernels", "index_scale", "approx_pareto", "report", "compare"],
+        choices=[
+            "kernels",
+            "index_scale",
+            "approx_pareto",
+            "shard_scale",
+            "report",
+            "compare",
+        ],
         default="kernels",
         help="'kernels' (default): batched matching kernels vs per-pair "
         "baselines; 'index_scale': array-native index cores vs pointer "
         "trees across database sizes, plus cold zero-copy snapshot loads; "
         "'approx_pareto': sketch-shortlisted approximate k-nn vs the "
-        "exact oracle (recall/speedup Pareto curve); 'report': tabulate "
+        "exact oracle (recall/speedup Pareto curve); 'shard_scale': "
+        "scatter-gather query/ingest critical path across shard counts, "
+        "oracle-checked byte-identical; 'report': tabulate "
         "existing BENCH_*.json files; 'compare': regression sentinel — "
         "BASE.json HEAD.json per-op deltas, exit 1 on regression",
     )
@@ -482,6 +500,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="tiny workload for CI smoke runs (overrides --n/--k)",
+    )
+    bench.add_argument(
+        "--shard-counts",
+        default=None,
+        metavar="K1,K2,...",
+        help="shard_scale: shard counts to sweep (default: 1,2,4; the "
+        "first count is the speedup baseline)",
     )
     bench.add_argument(
         "--shortlists",
@@ -629,11 +654,17 @@ def _open_engine(path: Path, covers: int):
 
 
 def _open_snapshot(path: Path):
-    """Load a ``repro db`` snapshot ready for queries and mutations."""
-    from repro.db import SimilarityDatabase
+    """Load a ``repro db`` layout ready for queries and mutations.
+
+    Dispatches on what is on disk: a directory with a ``sharded.json``
+    manifest opens as a :class:`ShardedSimilarityDatabase`, anything
+    else as a single :class:`SimilarityDatabase` — callers use the
+    common query/mutation surface and never care which they got.
+    """
+    from repro.db import open_database
     from repro.features.vector_set_model import VectorSetModel
 
-    db = SimilarityDatabase.load(path)
+    db = open_database(path)
     db.model = VectorSetModel(k=db.capacity)
     return db
 
@@ -657,6 +688,79 @@ def _voxelize_for(db, path: Path):
 
 def _verify_database(path: Path) -> int:
     """``repro db verify``: exit 0 (ok), 1 (corrupt), 3 (degraded).
+
+    A sharded layout is verified shard by shard with the single-shard
+    walk below, plus the sharded-only invariants: a valid manifest and
+    every object living on the shard the CRC routing assigns it.  The
+    aggregated exit code is the worst per-shard outcome (corrupt
+    dominates degraded dominates ok).
+    """
+    from repro.db.sharded import MANIFEST_NAME
+
+    if path.is_dir() and (path / MANIFEST_NAME).exists():
+        return _verify_sharded(path)
+    return _verify_single(path)
+
+
+def _verify_sharded(path: Path) -> int:
+    import json as json_module
+
+    from repro.db import ShardedSimilarityDatabase, shard_of
+    from repro.db.sharded import (
+        MANIFEST_NAME,
+        _shard_archive_name,
+        _shard_dir_name,
+    )
+
+    manifest = json_module.loads((path / MANIFEST_NAME).read_text())
+    count = int(manifest["shards"])
+    durable = bool(manifest.get("durable"))
+    print(f"sharded layout: {count} shards ({'durable' if durable else 'snapshot'})")
+    worst = 0
+    for i in range(count):
+        shard_path = path / (
+            _shard_dir_name(i) if durable else _shard_archive_name(i)
+        )
+        print(f"--- shard {i}: {shard_path.name}")
+        try:
+            code = _verify_single(shard_path)
+        except ReproError as exc:
+            print(f"shard {i}: corrupt: {exc}", file=sys.stderr)
+            code = 1
+        if code == 1 or worst == 1:
+            worst = 1
+        elif code:
+            worst = code
+    # Routing invariant: the recovered layout must be one coherent
+    # database — every oid on the shard the hash assigns it.
+    db = ShardedSimilarityDatabase.load(path)
+    try:
+        misrouted = [
+            (oid, i)
+            for i, shard in enumerate(db.shards)
+            for oid in shard.object_ids()
+            if shard_of(oid, count) != i
+        ]
+    finally:
+        db.close()
+    if misrouted:
+        for oid, i in misrouted[:5]:
+            print(
+                f"misrouted: oid {oid} on shard {i}, "
+                f"routing says {shard_of(oid, count)}",
+                file=sys.stderr,
+            )
+        worst = 1
+    print(f"version vector: {db.version_vector()}")
+    print(
+        "verify: "
+        + {0: "ok", 1: "corrupt", 3: "recovered with degradation"}[worst]
+    )
+    return worst
+
+
+def _verify_single(path: Path) -> int:
+    """Exit 0 (ok), 1 (corrupt), 3 (degraded) for one shard or layout.
 
     For a durable directory: CRC-walk every retained snapshot archive
     and WAL segment, then run the recovery ladder in memory and
@@ -733,6 +837,33 @@ def cmd_db(args) -> int:
         from repro.features.vector_set_model import VectorSetModel
         from repro.pipeline import Pipeline
 
+        if args.shards is not None:
+            from repro.db import ShardedSimilarityDatabase
+
+            if args.dense:
+                raise ReproError("--dense is not supported with --shards")
+            db = ShardedSimilarityDatabase(
+                args.covers,
+                shards=args.shards,
+                backend=args.backend,
+                pipeline=Pipeline(resolution=args.resolution),
+                model=VectorSetModel(k=args.covers),
+                durable=args.durable,
+                path=args.database if args.durable else None,
+                fsync=args.fsync,
+                keep_generations=args.keep_generations,
+            )
+            if args.durable:
+                db.checkpoint()
+            else:
+                db.save(args.database)
+            db.close()
+            print(
+                f"created {'durable ' if args.durable else ''}sharded "
+                f"{args.backend} database ({args.shards} shards) -> "
+                f"{args.database}/"
+            )
+            return 0
         db = SimilarityDatabase(
             args.covers,
             backend=args.backend,
@@ -1469,6 +1600,206 @@ def cmd_bench_approx_pareto(args) -> int:
     return 0
 
 
+def cmd_bench_shard_scale(args) -> int:
+    """``repro bench shard_scale``: scatter-gather scaling across shard counts.
+
+    Builds the aircraft-style vector-set corpus once, then for each
+    shard count K times three legs:
+
+    * ingest — each shard's build is timed separately (shards share no
+      locks, so the parallel ingest critical path is the slowest
+      shard's build; the reported ``ingest_speedup`` is serial total /
+      critical);
+    * query — per-shard 10-nn service time over the same query batch
+      plus the (distance, oid) merge, again with the critical path
+      being the slowest shard leg + merge.  The headline ``speedup`` is
+      baseline critical / K-shard critical: the factor by which the
+      slowest single machine's work shrank.  Pool wall-clock for the
+      process-parallel batch path is recorded ungated (on a box with
+      >= K cores it approaches the critical path; on fewer cores it
+      degenerates to the serial total — a scheduling fact, not a
+      property of the sharding);
+    * persistence — parallel save/load of the sharded layout.
+
+    Every merged K-shard answer is cross-checked byte-identical against
+    the single-shard scan oracle *before* anything is written — a
+    disagreement aborts the run.
+    """
+    import tempfile
+    import time
+
+    from repro.bench import write_bench
+    from repro.db import ShardedSimilarityDatabase, SimilarityDatabase, shard_of
+    from repro.obs import span
+    from repro.seeding import resolve_seed, spawn
+
+    out = args.out or Path("BENCH_PR10.json")
+    if args.shard_counts:
+        counts = [int(part) for part in args.shard_counts.split(",")]
+    else:
+        counts = [1, 2, 4]
+    n = 2000 if args.quick else (args.n or 8000)
+    set_k = 5
+    dim = args.dim
+    knn_k = 10
+    n_queries = 16 if args.quick else max(30, args.queries)
+    seed = resolve_seed(args.seed)
+    rng = spawn(seed, "bench-shard-scale")
+    sets = _aircraft_set_corpus(rng, n, dim, set_k)
+    # Corpus-like queries (perturbed members): on the centroid-degenerate
+    # corpus the filter must refine nearly the whole database, so query
+    # cost is data-proportional — the regime where partitioning the data
+    # partitions the work.  Uniform random queries would be pruned to a
+    # few dozen refinements regardless of n and measure only fixed
+    # per-query overhead.
+    picks = rng.integers(0, n, size=n_queries)
+    queries = [
+        sets[int(i)] + rng.normal(0.0, 2.0, size=sets[int(i)].shape)
+        for i in picks
+    ]
+
+    # The oracle: a single-shard scan-backend build.  Canonical
+    # tie-breaking makes every backend and every shard count
+    # byte-identical to this.
+    oracle = SimilarityDatabase(set_k, backend="scan")
+    for oid, arr in enumerate(sets):
+        oracle.add(oid, arr)
+    expected = [
+        [(m.object_id, m.distance) for m in oracle.knn_query(q, knn_k)[0]]
+        for q in queries
+    ]
+
+    records: list[dict] = []
+    speedups: dict[int, float] = {}
+    baseline_critical = None
+    for shards in counts:
+        db = ShardedSimilarityDatabase(set_k, shards=shards, backend="xtree")
+        groups: list[list[int]] = [[] for _ in range(shards)]
+        for oid in range(n):
+            groups[shard_of(oid, shards)].append(oid)
+        build_legs = []
+        for i, group in enumerate(groups):
+            with span(f"bench.shard_build.{i}", force=True) as timer:
+                for oid in group:
+                    db.add(oid, sets[oid])
+            build_legs.append(timer.seconds)
+        build_total = sum(build_legs)
+        build_critical = max(build_legs)
+
+        # Per-shard query service time under one pinned version vector,
+        # then the merge — the exact decomposition scatter-gather runs.
+        with db.read_views() as views:
+            query_legs = []
+            per_shard = []
+            for view in views:
+                with span("bench.shard_knn", force=True) as timer:
+                    answers = [view.knn_query(q, knn_k) for q in queries]
+                query_legs.append(timer.seconds)
+                per_shard.append(answers)
+            with span("bench.shard_merge", force=True) as timer:
+                merged = [
+                    db._merge_matches(
+                        [per_shard[i][qi] for i in range(shards)], knn_k
+                    )
+                    for qi in range(n_queries)
+                ]
+            merge_s = timer.seconds
+        for qi, want in enumerate(expected):
+            got = [(m.object_id, m.distance) for m in merged[qi]]
+            if got != want:
+                raise ReproError(
+                    f"shards={shards}: merged 10-nn disagrees with the "
+                    f"scan oracle on query {qi}"
+                )
+        query_critical = max(query_legs) + merge_s
+        query_serial = sum(query_legs) + merge_s
+
+        # Pool wall-clock over the saved layout (recorded, not gated).
+        with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as tmp:
+            root = Path(tmp) / "layout"
+            with span("bench.shard_save", force=True) as timer:
+                db.save(root, n_jobs=min(args.jobs, max(shards, 1)))
+            save_s = timer.seconds
+            wall_s = None
+            if shards >= 2:
+                jobs = min(args.jobs, shards)
+                db.knn_query_many(queries, knn_k, n_jobs=jobs)  # warm pool
+                start = time.perf_counter()
+                pooled = db.knn_query_many(queries, knn_k, n_jobs=jobs)
+                wall_s = time.perf_counter() - start
+                for qi, want in enumerate(expected):
+                    got = [(m.object_id, m.distance) for m in pooled[qi][0]]
+                    if got != want:
+                        raise ReproError(
+                            f"shards={shards}: pooled 10-nn disagrees with "
+                            f"the scan oracle on query {qi}"
+                        )
+            with span("bench.shard_load", force=True) as timer:
+                reloaded = ShardedSimilarityDatabase.load(
+                    root, n_jobs=min(args.jobs, max(shards, 1))
+                )
+            load_s = timer.seconds
+            reloaded.close()
+
+        if baseline_critical is None:
+            baseline_critical = query_critical
+        speedup = (
+            baseline_critical / query_critical if query_critical else float("inf")
+        )
+        speedups[shards] = speedup
+        entry = {
+            "op": "shard_scale",
+            "backend": "xtree",
+            "shards": shards,
+            "n": n,
+            "k": knn_k,
+            "set_k": set_k,
+            "dim": dim,
+            "queries": n_queries,
+            "build_seconds": round(build_total, 6),
+            "build_critical_seconds": round(build_critical, 6),
+            "ingest_speedup": round(build_total / build_critical, 2)
+            if build_critical
+            else float("inf"),
+            "query_serial_seconds": round(query_serial, 6),
+            "query_critical_seconds": round(query_critical, 6),
+            "merge_seconds": round(merge_s, 6),
+            "save_seconds": round(save_s, 6),
+            "load_seconds": round(load_s, 6),
+            "speedup": round(speedup, 2),
+        }
+        if wall_s is not None:
+            entry["pool_wall_seconds"] = round(wall_s, 6)
+        if args.label is not None:
+            entry["label"] = args.label
+        records.append(entry)
+        print(
+            f"shard_scale K={shards}  build crit {build_critical:8.3f}s "
+            f"(total {build_total:8.3f}s)  query crit "
+            f"{query_critical:8.4f}s  merge {merge_s:7.4f}s  "
+            f"speedup {speedup:5.2f}x"
+        )
+
+    write_bench(out, records, suite="shard_scale", seed=seed, label=args.label)
+    print(f"\nwrote {out}")
+    if args.assert_speedup is not None:
+        top = max(counts)
+        gate = speedups[top]
+        if gate < args.assert_speedup:
+            print(
+                f"FAIL: {top}-shard query critical-path speedup "
+                f"{gate:.2f}x is below the required "
+                f"{args.assert_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"speedup gate ok: {top}-shard query critical path "
+            f"{gate:.2f}x >= {args.assert_speedup:.1f}x"
+        )
+    return 0
+
+
 def cmd_bench_report(args) -> int:
     """``repro bench report``: tabulate every BENCH_*.json for trajectory
     tracking (accepts both the pinned schema and legacy bare lists)."""
@@ -1592,6 +1923,8 @@ def cmd_bench(args) -> int:
         return cmd_bench_index_scale(args)
     if args.suite == "approx_pareto":
         return cmd_bench_approx_pareto(args)
+    if args.suite == "shard_scale":
+        return cmd_bench_shard_scale(args)
     if args.suite == "report":
         return cmd_bench_report(args)
     if args.suite == "compare":

@@ -1,0 +1,39 @@
+"""Mutable similarity databases: single-process and sharded.
+
+:mod:`repro.db.core` holds :class:`SimilarityDatabase` — one RWLock,
+one index, one WAL.  :mod:`repro.db.sharded` partitions objects across
+K independent cores and answers queries by scatter-gather merge on the
+canonical (distance, oid) order, byte-identical to a single-shard
+build.  :func:`open_database` dispatches a saved layout (archive file,
+durable directory, or sharded directory) to the class that wrote it.
+"""
+
+from repro.db.core import (
+    BACKENDS,
+    DB_FORMAT,
+    DB_VERSION,
+    DEFAULT_KEEP_GENERATIONS,
+    DatabaseView,
+    RecoveryReport,
+    SimilarityDatabase,
+)
+from repro.db.sharded import (
+    SHARDED_FORMAT,
+    ShardedSimilarityDatabase,
+    open_database,
+    shard_of,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DB_FORMAT",
+    "DB_VERSION",
+    "DEFAULT_KEEP_GENERATIONS",
+    "DatabaseView",
+    "RecoveryReport",
+    "SimilarityDatabase",
+    "SHARDED_FORMAT",
+    "ShardedSimilarityDatabase",
+    "open_database",
+    "shard_of",
+]

@@ -798,6 +798,32 @@ class SimilarityDatabase:
         with self._lock.read(timeout=self.lock_timeout):
             return self._range_locked(query, epsilon)
 
+    def knn_query_many(
+        self,
+        queries,
+        n_neighbors: int,
+        *,
+        mode: str = "exact",
+        shortlist: int | None = None,
+    ):
+        """Batch k-nn under one read-lock acquisition.
+
+        Returns ``[(results, stats), ...]`` in query order, identical
+        to calling :meth:`knn_query` per query — but the whole batch
+        observes a single database version (no writer can interleave).
+        """
+        if mode not in ("exact", "approx"):
+            raise QueryError(f"unknown query mode {mode!r}")
+        if mode == "exact" and shortlist is not None:
+            raise QueryError("shortlist is only meaningful with mode='approx'")
+        with self._lock.read(timeout=self.lock_timeout):
+            if mode == "approx":
+                return [
+                    self._approx_knn_locked(query, n_neighbors, shortlist)
+                    for query in queries
+                ]
+            return [self._knn_locked(query, n_neighbors) for query in queries]
+
     @contextmanager
     def read_view(self):
         """Hold the read lock across several queries: everything inside

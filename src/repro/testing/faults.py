@@ -227,6 +227,7 @@ CRASH_POINTS = (
     "mid-snapshot-write",
     "mid-checkpoint-swap",
     "mid-compaction",
+    "between-shard-checkpoints",
 )
 
 #: Environment variable consulted by :func:`crash_point`.

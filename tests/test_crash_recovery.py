@@ -70,7 +70,11 @@ ack.close()
 # Hit counts chosen so every point actually fires mid-plan: the plan
 # from make_plan() contains one checkpoint (mid-snapshot-write,
 # mid-checkpoint-swap), one compact (mid-compaction), and dozens of
-# appends (after-wal-append fires on the 7th).
+# appends (after-wal-append fires on the 7th).  The single-database
+# plan never reaches "between-shard-checkpoints" (it fires only inside
+# ShardedSimilarityDatabase.checkpoint) — its kill matrix lives in
+# tests/test_sharded_crash.py, so this suite parametrizes over the
+# specs it arms rather than all of CRASH_POINTS.
 CRASH_SPECS = {
     "after-wal-append": "after-wal-append:7",
     "mid-snapshot-write": "mid-snapshot-write",
@@ -115,8 +119,15 @@ def run_worker(tmp_path, plan, backend, crash_spec=None):
     return proc, dbdir, acked
 
 
+def test_specs_cover_single_database_points():
+    """Every registered crash point is exercised somewhere: the four
+    single-database points here, the sharded gap in the sharded kill
+    matrix."""
+    assert set(CRASH_SPECS) == set(CRASH_POINTS) - {"between-shard-checkpoints"}
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
-@pytest.mark.parametrize("point", CRASH_POINTS)
+@pytest.mark.parametrize("point", sorted(CRASH_SPECS))
 def test_kill_and_recover(point, backend, tmp_path, rng):
     plan = make_plan(rng)
     proc, dbdir, acked = run_worker(

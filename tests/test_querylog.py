@@ -242,3 +242,110 @@ class TestEngineAndBatchPaths:
         for event in events:
             assert event["refine_seconds"] == event["seconds"]
             assert event["filter_seconds"] == 0.0
+
+
+class TestSharded:
+    """Scatter-gather queries keep every wide-event invariant.
+
+    The sharded layer records one merged event per query whose stats
+    are the (distance, oid)-merge of the per-shard legs; each leg's own
+    event carries its ``shard`` context frame.  The PR 9 arithmetic —
+    total == filter + refine — holds exactly, with the scatter as the
+    filter phase and the merge as the refine phase.
+    """
+
+    def make_sharded(self, backend, rng, count=24, dim=6):
+        from repro.db import ShardedSimilarityDatabase
+
+        sharded = ShardedSimilarityDatabase(5, shards=3, backend=backend)
+        mirror = SimilarityDatabase(capacity=5, backend=backend)
+        sets = [
+            rng.normal(size=(int(rng.integers(1, 6)), dim))
+            for _ in range(count)
+        ]
+        for oid, vectors in enumerate(sets):
+            sharded.add(oid, vectors)
+            mirror.add(oid, vectors)
+        return sharded, mirror, sets
+
+    def nonempty(self, db):
+        return [i for i, shard in enumerate(db.shards) if len(shard)]
+
+    def test_sharded_knn_event_agrees_with_stats(self, enabled, rng):
+        db, _, sets = self.make_sharded("xtree", rng)
+        _, stats = db.knn_query(sets[0], 3)
+        events = query_events(enabled)
+        outer = [e for e in events if e["kind"] == "sharded_knn"]
+        inner = [e for e in events if e["kind"] != "sharded_knn"]
+        assert len(outer) == 1
+        event = outer[0]
+        for key, value in stats.as_dict().items():
+            assert event[key] == value, key
+        assert event["backend"] == "xtree"
+        assert event["mode"] == "exact"
+        assert event["shards"] == 3
+        assert event["db_version"] == db.version
+        assert event["k"] == 3
+        # The phase invariant, exact by construction: the scatter is
+        # the filter phase, the merge is the refine phase.
+        assert event["seconds"] == pytest.approx(
+            event["filter_seconds"] + event["refine_seconds"]
+        )
+        assert event["n"] == len(db)
+        # One leg event per nonempty shard, each stamped with its shard.
+        assert sorted(e["shard"] for e in inner) == self.nonempty(db)
+        assert all(e["kind"] == "knn" for e in inner)
+        assert sum(e["exact_computations"] for e in inner) == (
+            stats.exact_computations
+        )
+
+    def test_sharded_range_event_agrees_with_stats(self, enabled, rng):
+        db, _, sets = self.make_sharded("rstar", rng)
+        _, stats = db.range_query(sets[0], 2.0)
+        events = query_events(enabled)
+        outer = [e for e in events if e["kind"] == "sharded_range"]
+        inner = [e for e in events if e["kind"] != "sharded_range"]
+        assert len(outer) == 1
+        event = outer[0]
+        for key, value in stats.as_dict().items():
+            assert event[key] == value, key
+        assert event["epsilon"] == 2.0
+        assert event["shards"] == 3
+        assert event["seconds"] == pytest.approx(
+            event["filter_seconds"] + event["refine_seconds"]
+        )
+        assert sorted(e["shard"] for e in inner) == self.nonempty(db)
+        assert all(e["kind"] == "range" for e in inner)
+
+    def test_sharded_approx_event_and_stats_match_single_shard(
+        self, enabled, rng
+    ):
+        db, mirror, sets = self.make_sharded("xtree", rng)
+        _, stats = db.knn_query(sets[0], 3, mode="approx", shortlist=10)
+        _, single_stats = mirror.knn_query(
+            sets[0], 3, mode="approx", shortlist=10
+        )
+        # The global-shortlist reconstruction makes the merged stats
+        # equal the single-shard build's, field for field.
+        assert stats.as_dict() == single_stats.as_dict()
+        events = query_events(enabled)
+        outer = [e for e in events if e["kind"] == "sharded_approx_knn"]
+        assert len(outer) == 1
+        event = outer[0]
+        for key, value in stats.as_dict().items():
+            assert event[key] == value, key
+        assert event["mode"] == "approx"
+        assert event["budget"] == 10
+        assert event["shortlist_size"] <= 10
+        assert event["seconds"] == pytest.approx(
+            event["filter_seconds"] + event["refine_seconds"]
+        )
+        inner = [e for e in events if e["kind"] == "knn_subset"]
+        assert inner, "per-shard refine legs should log knn_subset events"
+        assert all(e["shard"] in (0, 1, 2) for e in inner)
+
+    def test_sharded_events_respect_sampling(self, enabled, rng):
+        querylog.configure(sample_rate=0.0, slow_ms=None)
+        db, _, sets = self.make_sharded("scan", rng, count=12)
+        db.knn_query(sets[0], 3)
+        assert query_events(enabled) == []

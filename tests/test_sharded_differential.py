@@ -1,0 +1,322 @@
+"""Cross-shard differential machine: sharded == single-shard, always.
+
+The equality contract of :mod:`repro.db.sharded`: a scatter-gather
+query against K independent shards returns *byte-identical* results —
+same ids, same float distances, same order — to a single-shard
+``SimilarityDatabase`` holding the same objects.  A hypothesis rule
+machine drives arbitrary add/remove/update/compact/reshard sequences
+against a (sharded, mirror) pair per backend and checks knn, range,
+batch, and approx-mode answers after every step; integer coordinates
+keep every distance exactly representable, so the comparison is
+literal equality, never approximate.
+
+The non-stateful tests cover the seams the machine can't reach:
+routing stability, manifest round-trips (serial and process-pool
+save/load), the parallel batch path against its serial answer, and the
+stale-snapshot guard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.queries import QueryStats
+from repro.db import (
+    BACKENDS,
+    ShardedSimilarityDatabase,
+    SimilarityDatabase,
+    open_database,
+    shard_of,
+)
+from repro.exceptions import QueryError, StorageError
+
+CAPACITY = 3
+DIM = 3
+
+coordinates = st.integers(min_value=-16, max_value=16)
+vector_sets = st.lists(
+    st.tuples(*[coordinates] * DIM), min_size=1, max_size=CAPACITY
+).map(lambda rows: np.asarray(rows, dtype=float))
+
+
+def pairs(results):
+    return [(m.object_id, m.distance) for m in results]
+
+
+class ShardedDifferentialMachine(RuleBasedStateMachine):
+    """One (sharded, mirror) pair per backend; equality after every step."""
+
+    def __init__(self):
+        super().__init__()
+        self.dbs = {
+            backend: (
+                ShardedSimilarityDatabase(
+                    CAPACITY, shards=3, backend=backend, index_capacity=4
+                ),
+                SimilarityDatabase(
+                    CAPACITY, backend=backend, index_capacity=4
+                ),
+            )
+            for backend in BACKENDS
+        }
+        self.model: dict[int, np.ndarray] = {}
+        self.next_oid = 0
+
+    # -- mutations ---------------------------------------------------------
+
+    @rule(arr=vector_sets, stride=st.integers(min_value=1, max_value=9))
+    def add(self, arr, stride):
+        # Strided ids keep the CRC routing honest on sparse id spaces.
+        oid = self.next_oid
+        self.next_oid += stride
+        for sharded, mirror in self.dbs.values():
+            sharded.add(oid, arr)
+            mirror.add(oid, arr)
+        self.model[oid] = arr
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        for sharded, mirror in self.dbs.values():
+            assert sharded.remove(oid) is True
+            assert mirror.remove(oid) is True
+        del self.model[oid]
+
+    @rule()
+    def remove_absent(self):
+        missing = self.next_oid + 1
+        for sharded, mirror in self.dbs.values():
+            assert sharded.remove(missing) is False
+            assert mirror.remove(missing) is False
+
+    @precondition(lambda self: self.model)
+    @rule(arr=vector_sets, data=st.data())
+    def update(self, arr, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        for sharded, mirror in self.dbs.values():
+            sharded.update(oid, arr)
+            mirror.update(oid, arr)
+        self.model[oid] = arr
+
+    @rule()
+    def compact(self):
+        for sharded, mirror in self.dbs.values():
+            sharded.compact()
+            mirror.compact()
+
+    @rule(new_shards=st.integers(min_value=1, max_value=5))
+    def reshard(self, new_shards):
+        # Only the sharded side repartitions; the mirror is untouched —
+        # query equality must be insensitive to the partitioning.
+        for sharded, _ in self.dbs.values():
+            sharded.reshard(new_shards)
+            assert sharded.n_shards == new_shards
+
+    @rule(new_shards=st.integers(min_value=1, max_value=4))
+    def rebalance_on_compact(self, new_shards):
+        for sharded, _ in self.dbs.values():
+            sharded.compact(shards=new_shards)
+            assert sharded.n_shards == new_shards
+
+    # -- drawn queries ------------------------------------------------------
+
+    @precondition(lambda self: self.model)
+    @rule(query=vector_sets, k=st.integers(min_value=1, max_value=6))
+    def knn_matches(self, query, k):
+        for backend, (sharded, mirror) in self.dbs.items():
+            got, _ = sharded.knn_query(query, k)
+            want, _ = mirror.knn_query(query, k)
+            assert pairs(got) == pairs(want), backend
+
+    @precondition(lambda self: self.model)
+    @rule(query=vector_sets, epsilon=st.floats(0.0, 12.0, allow_nan=False))
+    def range_matches(self, query, epsilon):
+        for backend, (sharded, mirror) in self.dbs.items():
+            got, _ = sharded.range_query(query, epsilon)
+            want, _ = mirror.range_query(query, epsilon)
+            assert pairs(got) == pairs(want), backend
+
+    @precondition(lambda self: self.model)
+    @rule(
+        query=vector_sets,
+        k=st.integers(min_value=1, max_value=4),
+        budget=st.integers(min_value=1, max_value=10),
+    )
+    def approx_matches(self, query, k, budget):
+        # Approx mode must reconstruct the *global* Hamming shortlist:
+        # results AND merged stats equal the single-shard build's.
+        for backend, (sharded, mirror) in self.dbs.items():
+            got, got_stats = sharded.knn_query(
+                query, k, mode="approx", shortlist=budget
+            )
+            want, want_stats = mirror.knn_query(
+                query, k, mode="approx", shortlist=budget
+            )
+            assert pairs(got) == pairs(want), backend
+            assert got_stats.as_dict() == want_stats.as_dict(), backend
+
+    @precondition(lambda self: self.model)
+    @rule(queries=st.lists(vector_sets, min_size=1, max_size=3))
+    def batch_matches(self, queries):
+        for backend, (sharded, mirror) in self.dbs.items():
+            got = sharded.knn_query_many(queries, 4)
+            want = mirror.knn_query_many(queries, 4)
+            assert [pairs(r) for r, _ in got] == [
+                pairs(r) for r, _ in want
+            ], backend
+
+    # -- standing invariants ------------------------------------------------
+
+    @invariant()
+    def membership_agrees(self):
+        expected = sorted(self.model)
+        for backend, (sharded, mirror) in self.dbs.items():
+            assert sharded.object_ids() == expected, backend
+            assert mirror.object_ids() == expected, backend
+            assert len(sharded) == len(mirror) == len(expected)
+            assert sum(len(s) for s in sharded.shards) == len(expected)
+
+    @invariant()
+    def probe_query_matches(self):
+        # A deterministic probe after *every* step (rule-drawn queries
+        # only run when hypothesis picks those rules).
+        if not self.model:
+            return
+        probe = np.asarray([[1.0, -2.0, 3.0]])
+        for backend, (sharded, mirror) in self.dbs.items():
+            got, _ = sharded.knn_query(probe, 3)
+            want, _ = mirror.knn_query(probe, 3)
+            assert pairs(got) == pairs(want), backend
+
+
+TestShardedDifferential = ShardedDifferentialMachine.TestCase
+
+
+# -- routing ---------------------------------------------------------------
+
+
+def test_routing_is_stable_and_total():
+    for oid in (0, 1, 7, 10**9, -3):
+        owners = [shard_of(oid, 4) for _ in range(3)]
+        assert len(set(owners)) == 1
+        assert 0 <= owners[0] < 4
+    assert shard_of(123, 1) == 0
+    with pytest.raises(QueryError):
+        shard_of(1, 0)
+
+
+def test_routing_spreads_dense_ids():
+    owners = {shard_of(oid, 4) for oid in range(64)}
+    assert owners == {0, 1, 2, 3}
+
+
+# -- persistence seams -----------------------------------------------------
+
+
+def build_pair(rng, count=30, shards=4, backend="xtree"):
+    sharded = ShardedSimilarityDatabase(CAPACITY, shards=shards, backend=backend)
+    mirror = SimilarityDatabase(CAPACITY, backend=backend)
+    sets = {}
+    for oid in range(count):
+        arr = rng.integers(-8, 9, size=(int(rng.integers(1, CAPACITY + 1)), DIM)).astype(float)
+        sharded.add(oid, arr)
+        mirror.add(oid, arr)
+        sets[oid] = arr
+    return sharded, mirror, sets
+
+
+@pytest.mark.parametrize("n_jobs", [None, 2])
+def test_save_load_roundtrip(tmp_path, rng, n_jobs):
+    sharded, mirror, sets = build_pair(rng)
+    root = sharded.save(tmp_path / "layout", n_jobs=n_jobs)
+    assert (root / "sharded.json").exists()
+    back = ShardedSimilarityDatabase.load(root, n_jobs=n_jobs)
+    assert back.n_shards == 4
+    assert back.object_ids() == sorted(sets)
+    query = sets[0]
+    assert pairs(back.knn_query(query, 8)[0]) == pairs(
+        mirror.knn_query(query, 8)[0]
+    )
+    assert pairs(
+        back.knn_query(query, 5, mode="approx", shortlist=12)[0]
+    ) == pairs(mirror.knn_query(query, 5, mode="approx", shortlist=12)[0])
+    # Reloaded shards are node-for-node what was saved.
+    assert back.index_digests() == sharded.index_digests()
+    assert back.sketch_digests() == sharded.sketch_digests()
+
+
+def test_open_database_dispatches(tmp_path, rng):
+    sharded, mirror, sets = build_pair(rng, count=12)
+    sharded_root = sharded.save(tmp_path / "sharded")
+    single_path = mirror.save(tmp_path / "single.npz")
+    opened = open_database(sharded_root)
+    assert isinstance(opened, ShardedSimilarityDatabase)
+    assert isinstance(open_database(single_path), SimilarityDatabase)
+    with pytest.raises(StorageError):
+        ShardedSimilarityDatabase.load(tmp_path)
+
+
+def test_save_prunes_orphan_archives_after_reshard(tmp_path, rng):
+    sharded, _, sets = build_pair(rng, count=12, shards=4)
+    root = sharded.save(tmp_path / "layout")
+    assert len(list(root.glob("shard-*.npz"))) == 4
+    sharded.reshard(2)
+    sharded.save(root)
+    assert len(list(root.glob("shard-*.npz"))) == 2
+    back = ShardedSimilarityDatabase.load(root)
+    assert back.n_shards == 2
+    assert back.object_ids() == sorted(sets)
+
+
+def test_parallel_batch_matches_serial(tmp_path, rng):
+    sharded, mirror, sets = build_pair(rng)
+    queries = [sets[1], sets[2], sets[3]]
+    sharded.save(tmp_path / "layout")
+    parallel = sharded.knn_query_many(queries, 6, n_jobs=2)
+    serial = sharded.knn_query_many(queries, 6)
+    single = [mirror.knn_query(q, 6) for q in queries]
+    assert [pairs(r) for r, _ in parallel] == [pairs(r) for r, _ in serial]
+    assert [pairs(r) for r, _ in parallel] == [pairs(r) for r, _ in single]
+    assert [s.as_dict() for _, s in parallel] == [
+        s.as_dict() for _, s in serial
+    ]
+    assert len(sharded.last_parallel_legs) == sharded.n_shards
+
+
+def test_parallel_batch_guards(tmp_path, rng):
+    sharded, _, sets = build_pair(rng, count=10)
+    with pytest.raises(QueryError, match="saved sharded snapshot"):
+        sharded.knn_query_many([sets[0]], 3, n_jobs=2)
+    sharded.save(tmp_path / "layout")
+    sharded.add(999, sets[0])
+    with pytest.raises(QueryError, match="stale"):
+        sharded.knn_query_many([sets[0]], 3, n_jobs=2)
+    with pytest.raises(QueryError, match="exact"):
+        sharded.knn_query_many([sets[0]], 3, mode="approx", n_jobs=2)
+
+
+def test_constructor_and_mode_validation(tmp_path):
+    with pytest.raises(QueryError):
+        ShardedSimilarityDatabase(CAPACITY, shards=0)
+    with pytest.raises(QueryError):
+        ShardedSimilarityDatabase(CAPACITY, path=tmp_path / "x")
+    db = ShardedSimilarityDatabase(CAPACITY, shards=2)
+    with pytest.raises(QueryError):
+        db.knn_query(np.ones((1, DIM)), 3, mode="nope")
+    with pytest.raises(QueryError):
+        db.knn_query(np.ones((1, DIM)), 3, shortlist=5)
+    with pytest.raises(QueryError):
+        db.reshard(0)
+    with pytest.raises(QueryError):
+        db.save()
+    results, stats = db.knn_query(np.ones((1, DIM)), 3)
+    assert results == [] and stats.as_dict() == QueryStats().as_dict()
